@@ -1,0 +1,43 @@
+// Ablation — the writer-synchronization δ parameter (Alg. 3): a writer
+// aborted by readers re-starts so that it is expected to finish δ cycles
+// after the last active reader. δ close to 0 maximizes overlap but risks
+// another reader abort; δ close to the writer duration is safe but wastes
+// concurrency. The paper uses δ = half the writer's expected duration after
+// preliminary experiments; this bench reproduces that tuning curve.
+#include <cstdio>
+
+#include "bench/support/hashmap_fig.h"
+
+namespace sprwl::bench {
+namespace {
+
+void run(const Args& args) {
+  const Machine m = broadwell_machine();
+  HashmapFigParams p = machine_params(m, args);
+  p.lookups_per_read = 10;
+  p.update_ratio = 0.10;
+  const int threads = args.full ? 56 : 28;
+
+  std::printf(
+      "Ablation: writer-sync delta fraction | %s | 10%% updates | %d "
+      "threads\n",
+      m.name, threads);
+  print_series_header();
+  for (const double delta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    char label[32];
+    std::snprintf(label, sizeof label, "delta=%.2f", delta);
+    hashmap_series(label, m, p, {threads}, [&](int n) {
+      core::Config c = core::Config::variant(core::SchedulingVariant::kFull, n);
+      c.delta_fraction = delta;
+      return std::make_unique<core::SpRWLock>(c);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace sprwl::bench
+
+int main(int argc, char** argv) {
+  sprwl::bench::run(sprwl::bench::Args::parse(argc, argv));
+  return 0;
+}

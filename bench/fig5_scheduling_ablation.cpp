@@ -1,0 +1,36 @@
+// Figure 5 — ablation of SpRWL's scheduling techniques on the long-reader
+// hash map at 10% updates (Broadwell): NoSched (base algorithm, §3.1),
+// RWait (readers wait for the last active writer), RSync (RWait + join
+// waiting readers), full SpRWL (RSync + writer synchronization), with TLE
+// as the outside reference.
+//
+// Expected shape (paper): NoSched already far above TLE; RWait adds gains
+// at high thread counts (writers no longer overrun by fresh readers);
+// RSync another ~30% (aligned reader starts); full SpRWL a further ~30%
+// peak (writer sync cuts reader-caused aborts).
+#include <cstdio>
+
+#include "bench/support/hashmap_fig.h"
+
+int main(int argc, char** argv) {
+  using namespace sprwl::bench;
+  using sprwl::core::SchedulingVariant;
+  const Args args = Args::parse(argc, argv);
+  const Machine m = broadwell_machine();
+  HashmapFigParams p = machine_params(m, args);
+  p.lookups_per_read = 10;
+  p.update_ratio = 0.10;
+  const std::vector<int>& threads = m.threads(args.full);
+
+  std::printf(
+      "Fig. 5 — SpRWL scheduling ablation (10%% updates, 10-lookup readers, "
+      "%s)\n",
+      m.name);
+  print_series_header();
+  hashmap_series("TLE", m, p, threads, make_tle());
+  hashmap_series("NoSched", m, p, threads, make_sprwl(SchedulingVariant::kNoSched));
+  hashmap_series("RWait", m, p, threads, make_sprwl(SchedulingVariant::kRWait));
+  hashmap_series("RSync", m, p, threads, make_sprwl(SchedulingVariant::kRSync));
+  hashmap_series("SpRWL", m, p, threads, make_sprwl(SchedulingVariant::kFull));
+  return 0;
+}

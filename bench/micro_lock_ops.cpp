@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark, real time): per-operation cost of
+// empty read/write critical sections for every lock in the library, plus
+// HTM-engine primitives. Not a paper figure — a regression harness for the
+// constant factors behind every figure.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/platform.h"
+#include "core/sprwl.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "locks/brlock.h"
+#include "locks/passive_rwlock.h"
+#include "locks/phase_fair.h"
+#include "locks/posix_rwlock.h"
+#include "locks/rwle.h"
+#include "locks/tle.h"
+#include "snzi/snzi.h"
+
+namespace {
+
+using namespace sprwl;
+
+constexpr int kMaxThreads = 8;
+
+struct EngineFixture {
+  EngineFixture() : engine(make_config()), scope(engine) {}
+  static htm::EngineConfig make_config() {
+    htm::EngineConfig cfg;
+    cfg.max_threads = kMaxThreads;
+    return cfg;
+  }
+  htm::Engine engine;
+  htm::EngineScope scope;
+};
+
+template <class Lock>
+std::unique_ptr<Lock> make_bench_lock();
+
+template <>
+std::unique_ptr<locks::PosixRWLock> make_bench_lock() {
+  return std::make_unique<locks::PosixRWLock>(kMaxThreads);
+}
+template <>
+std::unique_ptr<locks::BRLock> make_bench_lock() {
+  return std::make_unique<locks::BRLock>(kMaxThreads);
+}
+template <>
+std::unique_ptr<locks::PhaseFairRWLock> make_bench_lock() {
+  return std::make_unique<locks::PhaseFairRWLock>(kMaxThreads);
+}
+template <>
+std::unique_ptr<locks::PassiveRWLock> make_bench_lock() {
+  return std::make_unique<locks::PassiveRWLock>(kMaxThreads);
+}
+template <>
+std::unique_ptr<locks::TLELock> make_bench_lock() {
+  locks::TLELock::Config cfg;
+  cfg.max_threads = kMaxThreads;
+  return std::make_unique<locks::TLELock>(cfg);
+}
+template <>
+std::unique_ptr<locks::RWLELock> make_bench_lock() {
+  locks::RWLELock::Config cfg;
+  cfg.max_threads = kMaxThreads;
+  return std::make_unique<locks::RWLELock>(cfg);
+}
+template <>
+std::unique_ptr<core::SpRWLock> make_bench_lock() {
+  return std::make_unique<core::SpRWLock>(
+      core::Config::variant(core::SchedulingVariant::kFull, kMaxThreads));
+}
+
+template <class Lock>
+void BM_UncontendedRead(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  auto lock = make_bench_lock<Lock>();
+  htm::Shared<std::uint64_t> cell(7);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    lock->read(0, [&] { sink += cell.load(); });
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+template <class Lock>
+void BM_UncontendedWrite(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  auto lock = make_bench_lock<Lock>();
+  htm::Shared<std::uint64_t> cell(0);
+  for (auto _ : state) {
+    lock->write(1, [&] { cell.store(cell.load() + 1); });
+  }
+}
+
+void BM_HtmCommitEmpty(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.engine.try_transaction([] {}).committed());
+  }
+}
+
+void BM_HtmReadWriteWord(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  htm::Shared<std::uint64_t> cell(0);
+  for (auto _ : state) {
+    fx.engine.try_transaction([&] { cell.store(cell.load() + 1); });
+  }
+}
+
+void BM_SharedUninstrumentedLoad(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  htm::Shared<std::uint64_t> cell(3);
+  std::uint64_t sink = 0;
+  for (auto _ : state) sink += cell.load();
+  benchmark::DoNotOptimize(sink);
+}
+
+void BM_SnziArriveDepart(benchmark::State& state) {
+  EngineFixture fx;
+  ThreadIdScope tid(0);
+  snzi::Snzi s(snzi::Snzi::Config{3});
+  for (auto _ : state) {
+    s.arrive(0);
+    s.depart(0);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_UncontendedRead<sprwl::locks::PosixRWLock>)->Name("read/RWL");
+BENCHMARK(BM_UncontendedRead<sprwl::locks::BRLock>)->Name("read/BRLock");
+BENCHMARK(BM_UncontendedRead<sprwl::locks::PhaseFairRWLock>)->Name("read/PhaseFair");
+BENCHMARK(BM_UncontendedRead<sprwl::locks::PassiveRWLock>)->Name("read/PRWL");
+BENCHMARK(BM_UncontendedRead<sprwl::locks::TLELock>)->Name("read/TLE");
+BENCHMARK(BM_UncontendedRead<sprwl::locks::RWLELock>)->Name("read/RW-LE");
+BENCHMARK(BM_UncontendedRead<sprwl::core::SpRWLock>)->Name("read/SpRWL");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::PosixRWLock>)->Name("write/RWL");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::BRLock>)->Name("write/BRLock");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::PhaseFairRWLock>)->Name("write/PhaseFair");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::PassiveRWLock>)->Name("write/PRWL");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::TLELock>)->Name("write/TLE");
+BENCHMARK(BM_UncontendedWrite<sprwl::locks::RWLELock>)->Name("write/RW-LE");
+BENCHMARK(BM_UncontendedWrite<sprwl::core::SpRWLock>)->Name("write/SpRWL");
+BENCHMARK(BM_HtmCommitEmpty);
+BENCHMARK(BM_HtmReadWriteWord);
+BENCHMARK(BM_SharedUninstrumentedLoad);
+BENCHMARK(BM_SnziArriveDepart);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Cache-line-aligned allocation.
+//
+// Workload data pools must start on a cache-line boundary: otherwise the
+// mapping of objects onto 64-byte lines — and with it HTM footprints and
+// conflict patterns — would depend on where the heap happened to place the
+// buffer, making runs irreproducible. An aligned_vector pins the layout so
+// that a given seed always exercises the same line geometry.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "common/cacheline.h"
+
+namespace sprwl {
+
+template <class T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+
+  CacheAlignedAllocator() = default;
+  template <class U>
+  constexpr CacheAlignedAllocator(const CacheAlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    const auto align =
+        std::align_val_t{alignof(T) > kCacheLineSize ? alignof(T) : kCacheLineSize};
+    return static_cast<T*>(::operator new(n * sizeof(T), align));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    const auto align =
+        std::align_val_t{alignof(T) > kCacheLineSize ? alignof(T) : kCacheLineSize};
+    ::operator delete(p, align);
+  }
+
+  template <class U>
+  bool operator==(const CacheAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using aligned_vector = std::vector<T, CacheAlignedAllocator<T>>;
+
+}  // namespace sprwl

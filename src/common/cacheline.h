@@ -1,0 +1,39 @@
+// Cache-line geometry constants and padding helpers.
+//
+// Every per-thread slot that is written by one thread and polled by others
+// (reader flags, clocks, per-thread mutexes, ...) is padded to its own cache
+// line to avoid false sharing, exactly as the SpRWL paper's prototype does.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace sprwl {
+
+/// Size, in bytes, of one cache line (and of one HTM conflict-detection
+/// granule in the emulator).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies (at least) one full cache line.
+///
+/// Usage: `std::vector<CacheLinePadded<std::atomic<uint64_t>>> slots(n);`
+template <class T>
+struct alignas(kCacheLineSize) CacheLinePadded {
+  T value{};
+
+  CacheLinePadded() = default;
+
+  template <class... Args>
+  explicit CacheLinePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(CacheLinePadded<char>) == kCacheLineSize);
+static_assert(alignof(CacheLinePadded<char>) == kCacheLineSize);
+
+}  // namespace sprwl

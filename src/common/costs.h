@@ -1,0 +1,45 @@
+// Virtual-time cost model.
+//
+// When running under the sim::Simulator, every shared-memory access, fence
+// and HTM event charges virtual cycles so that throughput and latency have
+// the same *shape* they would on real hardware. The defaults approximate a
+// ~2 GHz out-of-order core where shared accesses mostly miss to L2/LLC
+// (30 cycles), fences drain the store buffer (~40), and HTM begin/commit
+// cost roughly what Intel reports for RTM (tens of cycles each).
+//
+// EXPERIMENTS.md includes a sensitivity check: the qualitative results are
+// stable under +/-2x changes of these values.
+//
+// The model is mutable global state on purpose: it is configured once by a
+// harness before any worker starts and is read-only during a run.
+#pragma once
+
+#include <cstdint>
+
+namespace sprwl {
+
+struct CostModel {
+  std::uint64_t load = 8;        ///< one shared load (mostly-warm mix)
+  std::uint64_t store = 10;      ///< one shared store
+  std::uint64_t cas = 40;        ///< one read-modify-write
+  std::uint64_t fence = 30;      ///< full memory fence
+  std::uint64_t pause = 40;      ///< one spin-loop iteration
+  std::uint64_t tx_begin = 60;   ///< HTM transaction begin
+  std::uint64_t tx_commit = 80;  ///< HTM commit (success)
+  std::uint64_t tx_abort = 120;  ///< HTM abort + rollback to begin
+  std::uint64_t local_work = 5;  ///< per private (non-shared) step of work
+  /// Extra cycles a contended lock handoff costs *per waiting thread*:
+  /// under a TATAS lock every release invalidates all spinners and the
+  /// winner's RMW contends with the losers', so handoff latency grows
+  /// linearly with the spinner count — the classic non-scalable-lock
+  /// behaviour of pthread's internal mutex that the paper's flat RWL curve
+  /// reflects.
+  std::uint64_t contention_unit = 30;
+  double ghz = 2.0;  ///< virtual clock frequency, for tx/s
+};
+
+/// The process-wide cost model. Harnesses may overwrite it before starting
+/// workers; defaults are always valid.
+inline CostModel g_costs{};
+
+}  // namespace sprwl

@@ -1,0 +1,88 @@
+// Log-bucketed latency histogram.
+//
+// The paper reports average reader/writer latencies in cycles on log-scaled
+// axes; we additionally keep enough resolution for percentiles. Buckets are
+// (power-of-two, 16 sub-buckets) — HdrHistogram-style with ~6% relative
+// error, constant memory, and O(1) record.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sprwl {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;                  // 16 linear sub-buckets
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kExpBuckets = 64 - kSubBits;   // covers full uint64
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[index_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+    if (v < min_) min_ = v;
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1]; upper bound of the containing bucket.
+  std::uint64_t quantile(double q) const noexcept {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > rank) return upper_bound_of(static_cast<int>(i));
+    }
+    return max_;
+  }
+
+  /// Merge another histogram into this one (used to aggregate per-thread
+  /// recorders after a run; no concurrent use).
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_) {
+      if (other.max_ > max_) max_ = other.max_;
+      if (other.min_ < min_) min_ = other.min_;
+    }
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+ private:
+  static int index_of(std::uint64_t v) noexcept {
+    if (v < kSub) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int exp = msb - kSubBits;               // >= 1 here
+    const int sub = static_cast<int>((v >> exp) & (kSub - 1));
+    return exp * kSub + sub;
+  }
+
+  static std::uint64_t upper_bound_of(int idx) noexcept {
+    const int exp = idx >> kSubBits;
+    const int sub = idx & (kSub - 1);
+    if (exp == 0) return static_cast<std::uint64_t>(sub);
+    return ((static_cast<std::uint64_t>(kSub) + sub + 1) << (exp)) - 1;
+  }
+
+  std::array<std::uint64_t, static_cast<std::size_t>(kExpBuckets) * kSub> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~0ULL;
+};
+
+}  // namespace sprwl

@@ -1,0 +1,79 @@
+#include "common/platform.h"
+
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace sprwl::platform {
+namespace {
+
+thread_local ExecutionContext* t_context = nullptr;
+thread_local int t_thread_id = -1;
+
+std::uint64_t real_now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+void real_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Portable spin hint: nothing better without arch support.
+  asm volatile("" ::: "memory");
+#endif
+  // On hosts with fewer cores than spinners (this reproduction may run on a
+  // single core), a pure busy-wait burns whole scheduler quanta before the
+  // thread being waited on can run. Yielding keeps spin hand-offs at
+  // syscall latency instead.
+  std::this_thread::yield();
+}
+
+}  // namespace
+
+void set_context(ExecutionContext* ctx) noexcept { t_context = ctx; }
+
+ExecutionContext* context() noexcept { return t_context; }
+
+void set_thread_id(int tid) noexcept { t_thread_id = tid; }
+
+std::uint64_t now() {
+  if (t_context != nullptr) return t_context->now();
+  return real_now();
+}
+
+void advance(std::uint64_t cycles) {
+  if (t_context != nullptr) t_context->advance(cycles);
+}
+
+void pause() {
+  if (t_context != nullptr) {
+    t_context->pause();
+    return;
+  }
+  real_pause();
+}
+
+void wait_until(std::uint64_t t) {
+  if (t_context != nullptr) {
+    t_context->wait_until(t);
+    return;
+  }
+  while (real_now() < t) real_pause();
+}
+
+int thread_id() {
+  if (t_context != nullptr) return t_context->thread_id();
+  return t_thread_id;
+}
+
+}  // namespace sprwl::platform

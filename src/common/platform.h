@@ -1,0 +1,78 @@
+// Execution-platform abstraction: time, spin hints and thread identity.
+//
+// All lock algorithms in this library are written against this tiny facade
+// instead of raw rdtsc/_mm_pause so that the *same* code runs in two modes:
+//
+//  * real mode   — plain std::thread; now() reads the hardware TSC (the
+//                  paper's prototype also uses the timestamp counter),
+//                  pause() is a CPU spin hint, advance() is a no-op.
+//  * simulated   — a sprwl::sim fiber installed an ExecutionContext; now()
+//    mode          is the fiber's virtual clock, advance()/pause() charge
+//                  virtual cycles and may switch to another fiber, and
+//                  wait_until() jumps the virtual clock (modelling the
+//                  paper's "timed wait on the TSC instead of spinning"
+//                  optimization, Section 3.4).
+//
+// The indirection is one thread_local pointer check per call; negligible
+// next to what it models, and it keeps the algorithm code identical to what
+// would run on real hardware.
+#pragma once
+
+#include <cstdint>
+
+namespace sprwl {
+
+/// Per-thread execution environment; implemented by sim::Simulator for
+/// fibers. Real threads run with no context installed.
+class ExecutionContext {
+ public:
+  virtual ~ExecutionContext() = default;
+
+  /// Current time in cycles (virtual or TSC).
+  virtual std::uint64_t now() = 0;
+
+  /// Charge `cycles` of work to this thread's clock.
+  virtual void advance(std::uint64_t cycles) = 0;
+
+  /// One spin-loop iteration: charges a small cost and lets others run.
+  virtual void pause() = 0;
+
+  /// Block (in virtual time) until now() >= t.
+  virtual void wait_until(std::uint64_t t) = 0;
+
+  /// Dense id of the current logical thread, in [0, max_threads).
+  virtual int thread_id() = 0;
+};
+
+namespace platform {
+
+/// Install/remove the context for the calling OS thread. Passing nullptr
+/// restores real mode.
+void set_context(ExecutionContext* ctx) noexcept;
+ExecutionContext* context() noexcept;
+
+/// In real mode, threads must be given a dense id before touching any lock
+/// that keeps per-thread state. In simulated mode the fiber id wins.
+void set_thread_id(int tid) noexcept;
+
+// These may throw when a simulated context enforces its virtual-time limit
+// (sim::SimTimeLimitError), hence no noexcept.
+std::uint64_t now();
+void advance(std::uint64_t cycles);
+void pause();
+void wait_until(std::uint64_t t);
+int thread_id();
+
+}  // namespace platform
+
+/// RAII helper for real-thread harnesses: assigns the dense thread id for
+/// the lifetime of a worker's body.
+class ThreadIdScope {
+ public:
+  explicit ThreadIdScope(int tid) noexcept { platform::set_thread_id(tid); }
+  ~ThreadIdScope() { platform::set_thread_id(-1); }
+  ThreadIdScope(const ThreadIdScope&) = delete;
+  ThreadIdScope& operator=(const ThreadIdScope&) = delete;
+};
+
+}  // namespace sprwl

@@ -1,0 +1,29 @@
+// Minimal scope guard: runs a callable on scope exit.
+//
+// Critical-section bodies are user code and may throw; every lock in this
+// library releases whatever it holds through a ScopeExit so that an
+// exception from the body leaves the lock usable (CP.20: RAII, never plain
+// lock/unlock).
+#pragma once
+
+#include <utility>
+
+namespace sprwl {
+
+template <class F>
+class ScopeExit {
+ public:
+  explicit ScopeExit(F f) noexcept : f_(std::move(f)) {}
+  ~ScopeExit() { f_(); }
+
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+
+ private:
+  F f_;
+};
+
+template <class F>
+ScopeExit(F) -> ScopeExit<F>;
+
+}  // namespace sprwl

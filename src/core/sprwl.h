@@ -1,0 +1,544 @@
+// SpRWL — Speculative Read-Write Lock (the paper's core contribution).
+//
+// Writers execute their critical sections as hardware transactions and, at
+// commit time, check for active readers, self-aborting if any is found
+// (base algorithm, Section 3.1 / Alg. 1). Readers execute completely
+// *uninstrumented*: they advertise a per-thread flag with a fence, run
+// plain code, and clear the flag — so they are immune to every HTM
+// limitation (capacity, syscalls, interrupts). Safety follows from HTM's
+// atomic publish plus strong isolation on the reader flags (Figs. 1-2 of
+// the paper; emulated faithfully by htm::Engine, see DESIGN.md).
+//
+// On top of the base algorithm this implementation provides everything the
+// paper describes, each independently switchable through Config:
+//
+//  * reader synchronization (Alg. 2): readers wait for the active writer
+//    expected to finish last, and join already-waiting readers so their
+//    start times align (Config::reader_sync / reader_join);
+//  * writer synchronization (Alg. 3): a writer aborted by a reader delays
+//    its retry so its commit lands δ cycles after the last active reader
+//    ends (Config::writer_sync, delta_fraction);
+//  * reader-HTM-first (§3.4): readers optimistically try one-shot HTM and
+//    fall back to the uninstrumented path on capacity/exhaustion;
+//  * SNZI reader tracking (§3.4): writers check one root word instead of
+//    scanning the O(threads) state array (Config::use_snzi);
+//  * timed waits on the timestamp counter instead of spinning (§3.4);
+//  * the versioned-SGL reader-starvation fix sketched in §3.3
+//    (Config::versioned_sgl, off by default as in the paper).
+//
+// Duration estimates use a per-critical-section-id exponential moving
+// average sampled on a single thread (§3.2.1); critical sections are
+// identified by the integer cs_id passed to read()/write().
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "common/ema.h"
+#include "common/platform.h"
+#include "common/scope_exit.h"
+#include "common/trace.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "locks/sgl.h"
+#include "locks/stats.h"
+#include "snzi/snzi.h"
+
+namespace sprwl::core {
+
+/// Named scheduling configurations matching the ablation of Fig. 5.
+enum class SchedulingVariant {
+  kNoSched,  ///< base algorithm only (Section 3.1)
+  kRWait,    ///< readers wait for the last active writer
+  kRSync,    ///< RWait + readers join already-waiting readers
+  kFull,     ///< RSync + writer synchronization (the default SpRWL)
+};
+
+struct Config {
+  int max_threads = 64;
+  /// HTM attempts for writers before the SGL fallback (capacity aborts
+  /// activate the fallback immediately, as in the paper's retry policy).
+  int max_retries = 10;
+  /// HTM attempts for the optimistic reader path.
+  int reader_htm_retries = 10;
+  bool reader_sync = true;
+  bool reader_join = true;
+  bool writer_sync = true;
+  bool reader_htm_first = true;
+  bool use_snzi = false;
+  /// Self-tuning reader tracking (the paper's Section 5 future work):
+  /// readers register through per-thread flags while the sampled reader
+  /// duration is short and through SNZI once it exceeds
+  /// adaptive_threshold_cycles, with a drain-based two-phase transition so
+  /// writers always observe every active reader. Overrides use_snzi.
+  bool adaptive_tracking = false;
+  std::uint64_t adaptive_threshold_cycles = 20'000;
+  bool versioned_sgl = false;
+  /// δ as a fraction of the writer's expected duration (paper default 1/2).
+  double delta_fraction = 0.5;
+  double ema_alpha = 0.125;
+  /// Thread that samples critical-section durations (§3.2.1).
+  int sampler_tid = 0;
+  /// SNZI tree depth; 0 = auto-size so there are roughly max_threads/2
+  /// leaves (bounded contention per leaf, logarithmic update cost).
+  int snzi_levels = 0;
+  /// Expected duration, in cycles, used before the first sample arrives.
+  std::uint64_t bootstrap_estimate = 500;
+
+  static Config variant(SchedulingVariant v, int max_threads) {
+    Config c;
+    c.max_threads = max_threads;
+    switch (v) {
+      case SchedulingVariant::kNoSched:
+        c.reader_sync = c.reader_join = c.writer_sync = false;
+        break;
+      case SchedulingVariant::kRWait:
+        c.reader_join = c.writer_sync = false;
+        break;
+      case SchedulingVariant::kRSync:
+        c.writer_sync = false;
+        break;
+      case SchedulingVariant::kFull:
+        break;
+    }
+    return c;
+  }
+};
+
+class SpRWLock {
+ public:
+  /// Explicit-abort codes (Intel _xabort-style).
+  static constexpr std::uint8_t kCodeLockBusy = 0x01;
+  static constexpr std::uint8_t kCodeReader = 0x02;
+
+  explicit SpRWLock(Config cfg)
+      : cfg_(cfg),
+        state_(static_cast<std::size_t>(cfg.max_threads)),
+        clock_w_(static_cast<std::size_t>(cfg.max_threads)),
+        clock_r_(static_cast<std::size_t>(cfg.max_threads)),
+        waiting_for_(static_cast<std::size_t>(cfg.max_threads)),
+        waiting_ver_(static_cast<std::size_t>(cfg.max_threads)),
+        reader_aborts_(static_cast<std::size_t>(cfg.max_threads)),
+        modes_(cfg.max_threads) {
+    for (auto& w : waiting_for_) w->store(-1, std::memory_order_relaxed);
+    for (auto& e : read_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
+    for (auto& e : write_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
+    if (cfg_.adaptive_tracking) cfg_.use_snzi = false;  // mode_ decides
+    if (cfg_.use_snzi || cfg_.adaptive_tracking) {
+      int levels = cfg.snzi_levels;
+      if (levels == 0) {
+        levels = 1;
+        while ((1 << (levels - 1)) * 2 < cfg.max_threads && levels < 8) ++levels;
+      }
+      snzi_ = std::make_unique<snzi::Snzi>(snzi::Snzi::Config{levels});
+    }
+    mode_.raw_store(cfg_.use_snzi ? kModeSnzi : kModeFlags);
+    transition_.raw_store(0);
+  }
+
+  /// Current reader-tracking mode (for tests and introspection):
+  /// true = SNZI, false = per-thread flags.
+  bool tracking_with_snzi() const { return mode_.raw_load() == kModeSnzi; }
+  bool tracking_transition_active() const { return transition_.raw_load() != 0; }
+
+  /// Executes f as a read-only critical section identified by cs_id.
+  template <class F>
+  void read(int cs_id, F&& f) {
+    const int tid = platform::thread_id();
+    assert(tid >= 0 && tid < cfg_.max_threads);
+
+    if (cfg_.reader_htm_first && try_reader_htm(f)) {
+      trace::emit(trace::Event::kReadHtmCommit);
+      modes_.record_read(locks::CommitMode::kHtm);
+      return;
+    }
+
+    // Uninstrumented path.
+    bool have_pass = false;       // versioned-SGL bypass (§3.3)
+    std::uint64_t pass_below = 0;
+    std::uint64_t track_mode = kModeFlags;
+    for (;;) {
+      if (cfg_.reader_sync && !have_pass) readers_wait(tid);
+      if (cfg_.writer_sync) {
+        clock_r_[static_cast<std::size_t>(tid)]->store(
+            platform::now() + read_estimate(cs_id), std::memory_order_relaxed);
+      }
+      track_mode = advertise_reader(tid);
+      if (cfg_.versioned_sgl) {
+        waiting_ver_[static_cast<std::size_t>(tid)]->store(0, std::memory_order_release);
+      }
+      if (!gl_.is_locked()) break;
+      if (have_pass && gl_.version() > pass_below) break;  // reader priority
+      // Defer to the SGL holder (Alg. 1, reader_gl_sync).
+      trace::emit(trace::Event::kReaderDeferSgl);
+      unadvertise_reader(tid, track_mode);
+      if (cfg_.versioned_sgl) {
+        const std::uint64_t v0 = gl_.version();
+        waiting_ver_[static_cast<std::size_t>(tid)]->store((v0 << 1) | 1,
+                                                           std::memory_order_seq_cst);
+        while (gl_.is_locked() && gl_.version() <= v0) platform::pause();
+        have_pass = true;
+        pass_below = v0;
+      } else {
+        while (gl_.is_locked()) platform::pause();
+      }
+    }
+
+    trace::emit(trace::Event::kReadUninsEnter);
+    const std::uint64_t cs_start = platform::now();
+    {
+      ScopeExit release([&] {
+        htm::memory_fence();  // reads must complete before the flag clears
+        unadvertise_reader(tid, track_mode);
+        trace::emit(trace::Event::kReadUninsExit);
+      });
+      std::forward<F>(f)();
+    }
+    if (tid == cfg_.sampler_tid) {
+      read_ema_[ema_slot(cs_id)]->record(platform::now() - cs_start);
+      if (cfg_.adaptive_tracking) maybe_adapt(cs_id);
+    }
+    modes_.record_read(locks::CommitMode::kUnins);
+  }
+
+  /// Executes f as an update critical section identified by cs_id.
+  template <class F>
+  void write(int cs_id, F&& f) {
+    const int tid = platform::thread_id();
+    assert(tid >= 0 && tid < cfg_.max_threads);
+    htm::Engine* engine = htm::Engine::current();
+    assert(engine != nullptr && "SpRWL requires an installed htm::Engine");
+
+    const bool flagged = cfg_.reader_sync;
+    if (flagged) {
+      // Advertise the writer and its expected end time (Alg. 2).
+      clock_w_[static_cast<std::size_t>(tid)]->store(
+          platform::now() + write_estimate(cs_id), std::memory_order_relaxed);
+      state_[static_cast<std::size_t>(tid)].store(kWriter);
+      htm::memory_fence();
+    }
+    ScopeExit clear_flag([&] {
+      if (flagged) state_[static_cast<std::size_t>(tid)].store(kIdle);
+    });
+
+    int attempts = 0;
+    for (;;) {
+      while (gl_.is_locked()) platform::pause();
+      ++attempts;
+      const std::uint64_t attempt_start = platform::now();
+      const htm::TxStatus status = engine->try_transaction([&] {
+        if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);  // subscription
+        f();
+        check_for_readers(engine, tid);
+      });
+      if (status.committed()) {
+        if (tid == cfg_.sampler_tid) {
+          write_ema_[ema_slot(cs_id)]->record(platform::now() - attempt_start);
+        }
+        trace::emit(trace::Event::kWriteHtmCommit,
+                    static_cast<std::uint32_t>(attempts));
+        modes_.record_write(locks::CommitMode::kHtm);
+        break;
+      }
+      const bool reader_abort = status.cause == htm::AbortCause::kExplicit &&
+                                status.code == kCodeReader;
+      if (reader_abort) {
+        ++reader_aborts_[static_cast<std::size_t>(tid)].value;
+        trace::emit(trace::Event::kWriteAbortReader);
+      }
+      if (status.cause == htm::AbortCause::kCapacity || attempts >= cfg_.max_retries) {
+        trace::emit(trace::Event::kWriteSglEnter,
+                    static_cast<std::uint32_t>(attempts));
+        fallback_write(cs_id, tid, f);
+        trace::emit(trace::Event::kWriteSglExit);
+        modes_.record_write(locks::CommitMode::kGl);
+        break;
+      }
+      if (cfg_.writer_sync && reader_abort) {
+        trace::emit(trace::Event::kWriterWait);
+        writer_wait(cs_id, tid);
+      }
+    }
+  }
+
+  locks::LockStats stats() const { return modes_.snapshot(); }
+
+  /// Writer aborts caused by an active reader (the paper's "reader" abort
+  /// class, reported separately from other explicit aborts).
+  std::uint64_t reader_abort_count() const {
+    std::uint64_t n = 0;
+    for (const auto& c : reader_aborts_) n += c.value;
+    return n;
+  }
+
+  void reset_stats() {
+    modes_.reset();
+    for (auto& c : reader_aborts_) c.value = 0;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+  static const char* name() noexcept { return "SpRWL"; }
+
+ private:
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::uint64_t kReader = 1;
+  static constexpr std::uint64_t kWriter = 2;
+  static constexpr std::uint64_t kModeFlags = 0;
+  static constexpr std::uint64_t kModeSnzi = 1;
+  static constexpr std::size_t kEmaSlots = 256;
+
+  static std::size_t ema_slot(int cs_id) noexcept {
+    return static_cast<std::size_t>(cs_id) % kEmaSlots;
+  }
+
+  std::uint64_t read_estimate(int cs_id) const {
+    const std::uint64_t e = read_ema_[ema_slot(cs_id)]->estimate();
+    return e != 0 ? e : cfg_.bootstrap_estimate;
+  }
+  std::uint64_t write_estimate(int cs_id) const {
+    const std::uint64_t e = write_ema_[ema_slot(cs_id)]->estimate();
+    return e != 0 ? e : cfg_.bootstrap_estimate;
+  }
+
+  /// §3.4: optimistic one-shot HTM execution of a reader.
+  template <class F>
+  bool try_reader_htm(F&& f) {
+    htm::Engine* engine = htm::Engine::current();
+    if (engine == nullptr) return false;
+    int attempts = 0;
+    for (;;) {
+      if (gl_.is_locked()) return false;  // no point speculating
+      ++attempts;
+      const htm::TxStatus status = engine->try_transaction([&] {
+        if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);
+        f();
+      });
+      if (status.committed()) return true;
+      if (status.cause == htm::AbortCause::kCapacity ||
+          attempts >= cfg_.reader_htm_retries) {
+        return false;
+      }
+    }
+  }
+
+  void register_reader(int tid, std::uint64_t mode) {
+    if (mode == kModeSnzi) {
+      snzi_->arrive(tid);
+    } else {
+      state_[static_cast<std::size_t>(tid)].store(kReader);  // strong isolation
+    }
+    htm::memory_fence();  // flag must be visible before the section's reads
+  }
+
+  /// Advertises the reader in the current tracking structure and returns
+  /// the mode used (the reader must deregister from the same structure).
+  /// Under adaptive tracking the mode is re-checked after registration so
+  /// that a reader racing a mode flip can never sit, active, in a
+  /// structure the sampler already declared drained.
+  std::uint64_t advertise_reader(int tid) {
+    std::uint64_t m =
+        cfg_.adaptive_tracking ? mode_.load() : (cfg_.use_snzi ? kModeSnzi : kModeFlags);
+    for (;;) {
+      register_reader(tid, m);
+      if (!cfg_.adaptive_tracking) return m;
+      const std::uint64_t cur = mode_.load();
+      if (cur == m) return m;
+      unadvertise_reader(tid, m);
+      m = cur;
+    }
+  }
+
+  void unadvertise_reader(int tid, std::uint64_t mode) {
+    if (mode == kModeSnzi) {
+      snzi_->depart(tid);
+    } else {
+      state_[static_cast<std::size_t>(tid)].store(kIdle);
+    }
+  }
+
+  /// Sampler-side self-tuning (Section 5 future work): flip the tracking
+  /// structure when the sampled reader duration crosses the threshold.
+  /// Two-phase: transition_ stays set (writers check BOTH structures)
+  /// until the old structure is observed drained.
+  void maybe_adapt(int cs_id) {
+    if (transition_.load() != 0) {
+      const std::uint64_t old_mode =
+          mode_.load() == kModeSnzi ? kModeFlags : kModeSnzi;
+      if (structure_quiet(old_mode)) {
+        transition_.store(0);
+        trace::emit(trace::Event::kModeTransitionDone);
+      }
+      return;
+    }
+    const std::uint64_t desired =
+        read_estimate(cs_id) >= cfg_.adaptive_threshold_cycles ? kModeSnzi
+                                                               : kModeFlags;
+    if (desired != mode_.load()) {
+      transition_.store(1);  // ordered before the flip (engine-serialized)
+      mode_.store(desired);
+      trace::emit(desired == kModeSnzi ? trace::Event::kModeFlipToSnzi
+                                       : trace::Event::kModeFlipToFlags);
+    }
+  }
+
+  bool structure_quiet(std::uint64_t mode) const {
+    if (mode == kModeSnzi) return snzi_->root_count_raw() == 0;
+    for (int t = 0; t < cfg_.max_threads; ++t) {
+      if (state_[static_cast<std::size_t>(t)].raw_load() == kReader) return false;
+    }
+    return true;
+  }
+
+  /// Commit-time reader check, executed inside the writer's transaction.
+  void check_for_readers(htm::Engine* engine, int tid) {
+    bool check_snzi = cfg_.use_snzi;
+    bool check_flags = !cfg_.use_snzi;
+    if (cfg_.adaptive_tracking) {
+      // Transactional reads: the writer subscribes to the mode words, so a
+      // transition mid-transaction aborts it rather than hiding a reader.
+      const bool in_transition = transition_.load() != 0;
+      const std::uint64_t m = mode_.load();
+      check_snzi = in_transition || m == kModeSnzi;
+      check_flags = in_transition || m == kModeFlags;
+    }
+    if (check_snzi && snzi_->query()) engine->abort_tx(kCodeReader);
+    if (!check_flags) return;
+    for (int t = 0; t < cfg_.max_threads; ++t) {
+      if (t == tid) continue;
+      if (state_[static_cast<std::size_t>(t)].load() == kReader) {
+        engine->abort_tx(kCodeReader);
+      }
+    }
+  }
+
+  /// Alg. 2 Readers_Wait: wait for the active writer expected to end last,
+  /// or join a reader that is already waiting for one.
+  void readers_wait(int tid) {
+    int wait_for = -1;
+    bool joined = false;
+    std::uint64_t max_end = 0;
+    for (int t = 0; t < cfg_.max_threads; ++t) {
+      if (t == tid) continue;
+      const std::size_t s = static_cast<std::size_t>(t);
+      if (state_raw(t) == kWriter) {
+        const std::uint64_t end = clock_w_[s]->load(std::memory_order_relaxed);
+        if (wait_for == -1 || end > max_end) {
+          max_end = end;
+          wait_for = t;
+        }
+      } else if (cfg_.reader_join) {
+        const int other = waiting_for_[s]->load(std::memory_order_acquire);
+        if (other != -1) {
+          wait_for = other;  // align our start with that reader's
+          joined = true;
+          break;
+        }
+      }
+    }
+    if (wait_for == -1) return;
+    trace::emit(joined ? trace::Event::kReaderJoin : trace::Event::kReaderWait,
+                static_cast<std::uint32_t>(wait_for));
+    const std::size_t me = static_cast<std::size_t>(tid);
+    waiting_for_[me]->store(wait_for, std::memory_order_release);
+    // Timed wait up to the writer's expected end (§3.4), then poll.
+    const std::uint64_t until =
+        clock_w_[static_cast<std::size_t>(wait_for)]->load(std::memory_order_relaxed);
+    if (until > platform::now()) platform::wait_until(until);
+    while (state_raw(wait_for) == kWriter) platform::pause();
+    waiting_for_[me]->store(-1, std::memory_order_release);
+  }
+
+  /// Alg. 3 writer_wait: delay the retry so the write is expected to end δ
+  /// cycles after the last active reader.
+  void writer_wait(int cs_id, int tid) {
+    std::uint64_t last_reader_end = 0;
+    for (int t = 0; t < cfg_.max_threads; ++t) {
+      if (t == tid) continue;
+      if (state_raw(t) == kReader) {
+        const std::uint64_t end =
+            clock_r_[static_cast<std::size_t>(t)]->load(std::memory_order_relaxed);
+        if (end > last_reader_end) last_reader_end = end;
+      }
+    }
+    if (last_reader_end == 0) return;
+    const std::uint64_t dur = write_estimate(cs_id);
+    const std::uint64_t lead =
+        dur - static_cast<std::uint64_t>(static_cast<double>(dur) * cfg_.delta_fraction);
+    const std::uint64_t target =
+        last_reader_end > lead ? last_reader_end - lead : last_reader_end;
+    if (target > platform::now()) platform::wait_until(target);
+  }
+
+  /// Plain (uncharged beyond one load) view of another thread's state,
+  /// used by the scheduling code that runs outside any transaction.
+  std::uint64_t state_raw(int t) {
+    return state_[static_cast<std::size_t>(t)].load();
+  }
+
+  template <class F>
+  void fallback_write(int cs_id, int tid, F&& f) {
+    gl_.lock();
+    if (cfg_.versioned_sgl) {
+      // §3.3: let readers that started waiting before this acquisition in.
+      const std::uint64_t my_ver = gl_.version();
+      for (int t = 0; t < cfg_.max_threads; ++t) {
+        if (t == tid) continue;
+        auto& wv = *waiting_ver_[static_cast<std::size_t>(t)];
+        for (;;) {
+          const std::uint64_t v = wv.load(std::memory_order_acquire);
+          if ((v & 1) == 0 || (v >> 1) >= my_ver) break;
+          platform::pause();
+        }
+      }
+    }
+    wait_for_readers(tid);
+    const std::uint64_t start = platform::now();
+    {
+      ScopeExit release([&] { gl_.unlock(); });
+      f();
+    }
+    if (tid == cfg_.sampler_tid) {
+      write_ema_[ema_slot(cs_id)]->record(platform::now() - start);
+    }
+  }
+
+  /// Alg. 1 wait_for_readers: executed while holding the SGL; readers that
+  /// find the SGL busy defer, so this drains.
+  void wait_for_readers(int tid) {
+    if (cfg_.use_snzi || cfg_.adaptive_tracking) {
+      while (snzi_->query()) platform::pause();
+      if (cfg_.use_snzi) return;
+    }
+    for (int t = 0; t < cfg_.max_threads; ++t) {
+      if (t == tid) continue;
+      while (state_raw(t) == kReader) platform::pause();
+    }
+  }
+
+  Config cfg_;
+  locks::SglLock gl_;
+  // Packed like the paper's state[N] array: a writer's commit-time scan
+  // touches ~N/8 lines (it must fit HTM capacity), at the price that one
+  // reader's flag store invalidates the whole line of 8 flags — the
+  // trade-off the SNZI variant (one root word) removes.
+  aligned_vector<htm::Shared<std::uint64_t>> state_;
+  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_w_;
+  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_r_;
+  std::vector<CacheLinePadded<std::atomic<int>>> waiting_for_;
+  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> waiting_ver_;
+  std::vector<CacheLinePadded<std::uint64_t>> reader_aborts_;
+  std::unique_ptr<snzi::Snzi> snzi_;
+  htm::Shared<std::uint64_t> mode_;        ///< current tracking structure
+  htm::Shared<std::uint64_t> transition_;  ///< nonzero: writers check both
+  std::unique_ptr<DurationEma> read_ema_[kEmaSlots];
+  std::unique_ptr<DurationEma> write_ema_[kEmaSlots];
+  locks::ModeRecorder modes_;
+};
+
+}  // namespace sprwl::core

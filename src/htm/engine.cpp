@@ -1,0 +1,321 @@
+#include "htm/engine.h"
+
+#include <stdexcept>
+
+namespace sprwl::htm {
+
+std::atomic<Engine*> Engine::g_current{nullptr};
+
+const char* to_string(AbortCause c) noexcept {
+  switch (c) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kConflict:
+      return "conflict";
+    case AbortCause::kCapacity:
+      return "capacity";
+    case AbortCause::kExplicit:
+      return "explicit";
+    case AbortCause::kSpurious:
+      return "spurious";
+  }
+  return "?";
+}
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(cfg),
+      table_mask_((1ULL << cfg.table_bits) - 1),
+      table_(1ULL << cfg.table_bits) {
+  if (cfg.max_threads <= 0) throw std::invalid_argument("max_threads must be > 0");
+  if (cfg.table_bits < 4 || cfg.table_bits > 28)
+    throw std::invalid_argument("table_bits out of range [4,28]");
+  descriptors_.reserve(static_cast<std::size_t>(cfg.max_threads));
+  std::uint64_t seed_state = cfg.seed;
+  for (int i = 0; i < cfg.max_threads; ++i) {
+    auto d = std::make_unique<Descriptor>();
+    d->rng = Rng(splitmix64(seed_state));
+    descriptors_.push_back(std::move(d));
+  }
+}
+
+Engine::~Engine() {
+  if (current() == this) set_current(nullptr);
+}
+
+Engine::Descriptor& Engine::self() {
+  const int tid = platform::thread_id();
+  if (tid < 0 || tid >= cfg_.max_threads)
+    throw std::logic_error(
+        "htm::Engine: calling thread has no dense id (use ThreadIdScope or "
+        "run under sim::Simulator), or id >= EngineConfig::max_threads");
+  return *descriptors_[static_cast<std::size_t>(tid)];
+}
+
+bool Engine::in_tx() noexcept {
+  const int tid = platform::thread_id();
+  if (tid < 0 || tid >= cfg_.max_threads) return false;
+  return descriptors_[static_cast<std::size_t>(tid)]->depth > 0;
+}
+
+void Engine::abort_tx(std::uint8_t code) {
+  assert(in_tx() && "abort_tx outside a transaction");
+  abort_internal(AbortCause::kExplicit, code);
+}
+
+void Engine::abort_internal(AbortCause cause, std::uint8_t code) {
+  throw AbortException(cause, code);
+}
+
+void Engine::maybe_spurious(Descriptor& d) {
+  if (cfg_.spurious_abort_rate > 0.0 &&
+      d.rng.next_bool(cfg_.spurious_abort_rate)) {
+    abort_internal(AbortCause::kSpurious);
+  }
+}
+
+void Engine::begin_attempt(Descriptor& d, bool rot) {
+  platform::advance(g_costs.tx_begin);
+  d.depth = 1;
+  d.is_rot = rot;
+  d.rv = gvc_.load(std::memory_order_acquire);
+  d.reads.clear();
+  d.read_lines.clear();
+  d.writes.clear();
+  d.write_words.clear();
+  d.write_lines.clear();
+  d.write_line_list.clear();
+  if (rot) {
+    // The engine emulates POWER8, where ROTs are effectively serialized by
+    // the users of the feature (RW-LE holds a writer lock around them).
+    const int prev = active_rots_.fetch_add(1, std::memory_order_acq_rel);
+    assert(prev == 0 && "concurrent ROTs are not supported (serialize them)");
+    (void)prev;
+  }
+}
+
+void Engine::extend(Descriptor& d) {
+  const std::uint64_t new_rv = gvc_.load(std::memory_order_acquire);
+  for (const ReadEntry& e : d.reads) {
+    const std::uint64_t v = table_[e.line].load(std::memory_order_acquire);
+    if (v != e.version) abort_internal(AbortCause::kConflict);
+  }
+  d.rv = new_rv;
+}
+
+std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
+  Descriptor& d = self();
+  assert(d.depth > 0 && "tx_read outside a transaction");
+  platform::advance(g_costs.load);
+  maybe_spurious(d);
+
+  const auto addr = reinterpret_cast<std::uintptr_t>(&cell);
+  if (!d.writes.empty()) {
+    if (const std::uint32_t* idx = d.write_words.find(addr))
+      return d.writes[*idx].value;
+  }
+  if (d.is_rot) return cell.load(std::memory_order_acquire);
+
+  const std::uint32_t line = line_of(addr);
+  bool inserted = false;
+  std::uint32_t& slot = d.read_lines.get_or_insert(
+      line, static_cast<std::uint32_t>(d.reads.size()), inserted);
+  if (!inserted) {
+    // Line already in the read set: it must still hold the version we
+    // recorded, otherwise our snapshot is broken.
+    const std::uint64_t recorded = d.reads[slot].version;
+    const std::uint64_t v1 = table_[line].load(std::memory_order_acquire);
+    if (v1 != recorded) abort_internal(AbortCause::kConflict);
+    const std::uint64_t val = cell.load(std::memory_order_acquire);
+    if (table_[line].load(std::memory_order_acquire) != recorded)
+      abort_internal(AbortCause::kConflict);
+    return val;
+  }
+
+  if (d.reads.size() + 1 > cfg_.capacity.read_lines)
+    abort_internal(AbortCause::kCapacity);
+
+  for (;;) {
+    const std::uint64_t v1 = table_[line].load(std::memory_order_acquire);
+    if ((v1 & kLockedBit) != 0) {  // a commit is mid-publish on this line
+      platform::pause();
+      continue;
+    }
+    const std::uint64_t val = cell.load(std::memory_order_acquire);
+    const std::uint64_t v2 = table_[line].load(std::memory_order_acquire);
+    if (v1 != v2) continue;
+    if (v1 > d.rv) extend(d);  // throws AbortException on failure
+    d.reads.push_back(ReadEntry{line, v1});
+    return val;
+  }
+}
+
+void Engine::tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
+  Descriptor& d = self();
+  assert(d.depth > 0 && "tx_write outside a transaction");
+  platform::advance(g_costs.store);
+  maybe_spurious(d);
+
+  const auto addr = reinterpret_cast<std::uintptr_t>(&cell);
+  bool inserted = false;
+  std::uint32_t& slot = d.write_words.get_or_insert(
+      addr, static_cast<std::uint32_t>(d.writes.size()), inserted);
+  if (!inserted) {
+    d.writes[slot].value = v;
+    return;
+  }
+  const std::uint32_t line = line_of(addr);
+  bool line_inserted = false;
+  d.write_lines.get_or_insert(line, 1, line_inserted);
+  if (line_inserted) {
+    if (d.write_lines.size() > cfg_.capacity.write_lines) {
+      abort_internal(AbortCause::kCapacity);
+    }
+    d.write_line_list.push_back(line);
+  }
+  d.writes.push_back(WriteEntry{&cell, v});
+}
+
+void Engine::commit_lock() {
+  for (;;) {
+    if (!commit_locked_.exchange(true, std::memory_order_acquire)) return;
+    while (commit_locked_.load(std::memory_order_relaxed)) platform::pause();
+  }
+}
+
+void Engine::commit_unlock() noexcept {
+  commit_locked_.store(false, std::memory_order_release);
+}
+
+void Engine::commit_attempt(Descriptor& d) {
+  platform::advance(g_costs.tx_commit);
+  maybe_spurious(d);
+
+  if (d.writes.empty()) {  // read-only: snapshot already validated at rv
+    ++(d.is_rot ? d.commits_rot : d.commits_htm);
+    if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
+    d.depth = 0;
+    return;
+  }
+
+  // --- publish window: no virtual-time advance from here to unlock -------
+  commit_lock();
+  for (const std::uint32_t line : d.write_line_list) {
+    const std::uint64_t v = table_[line].load(std::memory_order_relaxed);
+    table_[line].store(v | kLockedBit, std::memory_order_release);
+  }
+  if (!d.is_rot) {
+    for (const ReadEntry& e : d.reads) {
+      const std::uint64_t v =
+          table_[e.line].load(std::memory_order_acquire) & ~kLockedBit;
+      if (v != e.version) {
+        // Restore the lock-bitted lines and fail the commit.
+        for (const std::uint32_t line : d.write_line_list) {
+          const std::uint64_t cur = table_[line].load(std::memory_order_relaxed);
+          table_[line].store(cur & ~kLockedBit, std::memory_order_release);
+        }
+        commit_unlock();
+        abort_internal(AbortCause::kConflict);
+      }
+    }
+  }
+  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
+  for (const WriteEntry& w : d.writes) {
+    w.cell->store(w.value, std::memory_order_release);
+  }
+  for (const std::uint32_t line : d.write_line_list) {
+    table_[line].store(wv, std::memory_order_release);
+  }
+  gvc_.store(wv, std::memory_order_release);
+  commit_unlock();
+  // ------------------------------------------------------------------------
+
+  ++(d.is_rot ? d.commits_rot : d.commits_htm);
+  if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
+  d.depth = 0;
+}
+
+void Engine::rollback_attempt(Descriptor& d, const AbortException& a) {
+  switch (a.cause()) {
+    case AbortCause::kConflict:
+      ++d.ab_conflict;
+      break;
+    case AbortCause::kCapacity:
+      ++d.ab_capacity;
+      break;
+    case AbortCause::kExplicit:
+      ++d.ab_explicit;
+      break;
+    case AbortCause::kSpurious:
+      ++d.ab_spurious;
+      break;
+    case AbortCause::kNone:
+      break;
+  }
+  if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
+  d.depth = 0;
+  platform::advance(g_costs.tx_abort);
+}
+
+void Engine::rollback_user(Descriptor& d) {
+  // A user exception escaped the transaction body: the attempt aborts
+  // cleanly (redo log discarded) and the exception propagates.
+  if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
+  d.depth = 0;
+  platform::advance(g_costs.tx_abort);
+}
+
+void Engine::nontx_store(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
+  assert(!in_tx() && "nontx_store inside a transaction; use Shared<T>::store");
+  platform::advance(g_costs.store);
+  const std::uint32_t line = line_of(reinterpret_cast<std::uintptr_t>(&cell));
+  commit_lock();
+  const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
+  table_[line].store(old | kLockedBit, std::memory_order_release);
+  cell.store(v, std::memory_order_release);
+  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
+  table_[line].store(wv, std::memory_order_release);
+  gvc_.store(wv, std::memory_order_release);
+  commit_unlock();
+}
+
+bool Engine::nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
+                       std::uint64_t desired) {
+  assert(!in_tx() && "nontx_cas inside a transaction; use Shared<T>::cas");
+  platform::advance(g_costs.cas);
+  const std::uint32_t line = line_of(reinterpret_cast<std::uintptr_t>(&cell));
+  commit_lock();
+  if (cell.load(std::memory_order_acquire) != expected) {
+    commit_unlock();
+    return false;
+  }
+  const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
+  table_[line].store(old | kLockedBit, std::memory_order_release);
+  cell.store(desired, std::memory_order_release);
+  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
+  table_[line].store(wv, std::memory_order_release);
+  gvc_.store(wv, std::memory_order_release);
+  commit_unlock();
+  return true;
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  for (const auto& d : descriptors_) {
+    s.commits_htm += d->commits_htm;
+    s.commits_rot += d->commits_rot;
+    s.aborts_conflict += d->ab_conflict;
+    s.aborts_capacity += d->ab_capacity;
+    s.aborts_explicit += d->ab_explicit;
+    s.aborts_spurious += d->ab_spurious;
+  }
+  return s;
+}
+
+void Engine::reset_stats() {
+  for (auto& d : descriptors_) {
+    d->commits_htm = d->commits_rot = 0;
+    d->ab_conflict = d->ab_capacity = d->ab_explicit = d->ab_spurious = 0;
+  }
+}
+
+}  // namespace sprwl::htm

@@ -1,0 +1,221 @@
+// Software best-effort HTM engine.
+//
+// Design (word-granular redo log + line-granular conflict detection,
+// TL2-style global version clock):
+//
+//  * Transactional stores are buffered in a per-thread redo log and become
+//    visible only at commit — modelling HTM's atomic publish.
+//  * Transactional loads record (cache line, observed version) and are
+//    validated against a global version clock on every read ("extension"),
+//    which guarantees *opacity*: live transactions only ever observe
+//    consistent snapshots, exactly like hardware transactions, so emulated
+//    transactions never crash on torn state.
+//  * Commits serialize on an internal, virtual-time-free spin lock, set a
+//    lock bit on the written lines, re-validate the read set, apply the
+//    redo log and publish a new version. Under the fiber simulator the
+//    locked region performs no virtual-time advance, so a commit is a
+//    single instant of virtual time — the hardware behaviour.
+//  * Plain ("uninstrumented") accesses go straight to memory. The one spot
+//    where the SpRWL algorithm needs a plain STORE to be eagerly visible to
+//    conflict detection (the reader's state flag — the paper's strong
+//    isolation argument, Fig. 1) uses nontx_store()/nontx_cas(), which
+//    serialize with the commit lock and bump the line version, so a writer
+//    transaction that already read that line can no longer commit. This is
+//    precisely what the cache-coherence protocol does on real HTM.
+//  * Capacity profiles bound the number of *distinct lines* read/written;
+//    exceeding them raises a capacity abort, as on the paper's machines.
+//  * ROTs (rollback-only transactions, POWER8) skip read tracking and
+//    validation: they buffer writes for atomic publish but detect no
+//    conflicts. Callers (the RW-LE baseline) must serialize ROTs, which the
+//    engine asserts.
+//
+// Aborts unwind via AbortException (not derived from std::exception so that
+// user-level `catch (const std::exception&)` cannot swallow a rollback).
+// User exceptions thrown inside a transaction abort it cleanly and then
+// propagate.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/costs.h"
+#include "common/platform.h"
+#include "common/rng.h"
+#include "htm/htm.h"
+#include "htm/line_set.h"
+
+namespace sprwl::htm {
+
+/// Internal control-flow token for transaction rollback. Deliberately not a
+/// std::exception: transactional user code must let it pass through.
+class AbortException {
+ public:
+  AbortException(AbortCause cause, std::uint8_t code) noexcept
+      : cause_(cause), code_(code) {}
+  AbortCause cause() const noexcept { return cause_; }
+  std::uint8_t code() const noexcept { return code_; }
+
+ private:
+  AbortCause cause_;
+  std::uint8_t code_;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineConfig& config() const noexcept { return cfg_; }
+
+  /// Runs `body` as one hardware-transaction attempt. Returns the outcome;
+  /// never retries by itself (retry policies live in the lock algorithms).
+  /// Re-entrant calls flatten into the enclosing transaction.
+  template <class F>
+  TxStatus try_transaction(F&& body) {
+    Descriptor& d = self();
+    if (d.depth > 0) {  // flat nesting: aborts unwind to the outer begin
+      ++d.depth;
+      body();
+      --d.depth;
+      return {};
+    }
+    begin_attempt(d, /*rot=*/false);
+    try {
+      body();
+      commit_attempt(d);
+      return {};
+    } catch (const AbortException& a) {
+      rollback_attempt(d, a);
+      return {a.cause(), a.code()};
+    } catch (...) {
+      rollback_user(d);
+      throw;
+    }
+  }
+
+  /// Runs `body` as a rollback-only transaction (POWER8 ROT): buffered
+  /// writes, no read tracking/validation. At most one ROT may run at a
+  /// time; the caller provides that serialization (RW-LE does).
+  template <class F>
+  TxStatus try_rot(F&& body) {
+    Descriptor& d = self();
+    assert(d.depth == 0 && "ROT cannot nest inside a transaction");
+    begin_attempt(d, /*rot=*/true);
+    try {
+      body();
+      commit_attempt(d);
+      return {};
+    } catch (const AbortException& a) {
+      rollback_attempt(d, a);
+      return {a.cause(), a.code()};
+    } catch (...) {
+      rollback_user(d);
+      throw;
+    }
+  }
+
+  /// Explicitly aborts the running transaction with a user code
+  /// (Intel _xabort semantics). Must be called inside a transaction.
+  [[noreturn]] void abort_tx(std::uint8_t code);
+
+  /// True when the calling thread is inside a transaction on this engine.
+  bool in_tx() noexcept;
+
+  // --- word accessors (used by Shared<T>; see shared.h) -------------------
+  std::uint64_t tx_read(const std::atomic<std::uint64_t>& cell);
+  void tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v);
+
+  /// Strong-isolation plain store: serialized against commits, invalidates
+  /// the line in every live transaction's read set.
+  void nontx_store(std::atomic<std::uint64_t>& cell, std::uint64_t v);
+  /// Same, as a compare-and-swap. Returns false (no write) on mismatch.
+  bool nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
+                 std::uint64_t desired);
+
+  EngineStats stats() const;
+  void reset_stats();
+
+  /// The process-wide "installed HTM", consulted by Shared<T>. Tests and
+  /// harnesses install an engine with EngineScope.
+  static Engine* current() noexcept { return g_current.load(std::memory_order_acquire); }
+  static void set_current(Engine* e) noexcept { g_current.store(e, std::memory_order_release); }
+
+ private:
+  struct ReadEntry {
+    std::uint32_t line;
+    std::uint64_t version;
+  };
+  struct WriteEntry {
+    std::atomic<std::uint64_t>* cell;
+    std::uint64_t value;
+  };
+
+  struct Descriptor {
+    int depth = 0;
+    bool is_rot = false;
+    std::uint64_t rv = 0;  // read-validity timestamp (TL2 "read version")
+    std::vector<ReadEntry> reads;
+    EpochMap<std::uint32_t> read_lines;   // line -> index into reads
+    std::vector<WriteEntry> writes;
+    EpochMap<std::uint64_t> write_words;  // cell address -> index into writes
+    EpochMap<std::uint32_t> write_lines;  // distinct written lines (capacity)
+    std::vector<std::uint32_t> write_line_list;
+    Rng rng;
+    // Per-thread event counters (aggregated by Engine::stats()).
+    std::uint64_t commits_htm = 0, commits_rot = 0;
+    std::uint64_t ab_conflict = 0, ab_capacity = 0, ab_explicit = 0, ab_spurious = 0;
+  };
+
+  static constexpr std::uint64_t kLockedBit = 1ULL << 63;
+
+  Descriptor& self();
+  std::uint32_t line_of(std::uintptr_t addr) const noexcept {
+    return static_cast<std::uint32_t>(detail::mix64(addr >> 6) & table_mask_);
+  }
+
+  void begin_attempt(Descriptor& d, bool rot);
+  void commit_attempt(Descriptor& d);  // throws AbortException on conflict
+  void rollback_attempt(Descriptor& d, const AbortException& a);
+  void rollback_user(Descriptor& d);
+  void maybe_spurious(Descriptor& d);
+  void extend(Descriptor& d);  // throws AbortException on failure
+  [[noreturn]] void abort_internal(AbortCause cause, std::uint8_t code = 0);
+
+  // Commit lock: raw TATAS spin that charges no virtual time while held, so
+  // that commits are instantaneous in virtual time (hardware semantics).
+  // Waiters spin through platform::pause() and therefore do advance time.
+  void commit_lock();
+  void commit_unlock() noexcept;
+
+  EngineConfig cfg_;
+  std::uint64_t table_mask_;
+  std::vector<std::atomic<std::uint64_t>> table_;
+  std::atomic<std::uint64_t> gvc_{0};
+  std::atomic<bool> commit_locked_{false};
+  std::atomic<int> active_rots_{0};
+  std::vector<std::unique_ptr<Descriptor>> descriptors_;
+
+  static std::atomic<Engine*> g_current;
+};
+
+/// RAII installer for the process-wide engine.
+class EngineScope {
+ public:
+  explicit EngineScope(Engine& e) noexcept : prev_(Engine::current()) {
+    Engine::set_current(&e);
+  }
+  ~EngineScope() { Engine::set_current(prev_); }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+
+ private:
+  Engine* prev_;
+};
+
+}  // namespace sprwl::htm

@@ -1,0 +1,91 @@
+// Best-effort HTM emulation: public types.
+//
+// Commercial HTM (Intel RTM, POWER8) gives programs exactly four things the
+// SpRWL algorithm consumes:
+//
+//   1. transactions whose stores become visible atomically at commit;
+//   2. eager ("strong isolation") conflict detection against both
+//      transactional and plain accesses;
+//   3. a *best-effort* contract: transactions may abort for capacity,
+//      conflicts, interrupts (spurious), or on request, reporting a cause
+//      and an 8-bit user code (Intel's _xabort(imm8));
+//   4. bounded read/write footprints determined by cache geometry.
+//
+// src/htm emulates those semantics in software (see engine.h for how), with
+// capacity profiles mimicking the two machines of the paper's evaluation.
+// HTM hardware is unavailable in this environment; DESIGN.md documents the
+// substitution.
+#pragma once
+
+#include <cstdint>
+
+namespace sprwl::htm {
+
+/// Why a transaction attempt failed. Mirrors the cause bits of Intel RTM's
+/// abort status word.
+enum class AbortCause : std::uint8_t {
+  kNone = 0,      ///< committed successfully
+  kConflict,      ///< read-set invalidated by a concurrent commit/store
+  kCapacity,      ///< read or write footprint exceeded the profile
+  kExplicit,      ///< tx_abort(code) was called inside the transaction
+  kSpurious,      ///< modelled interrupt/context-switch abort
+};
+
+const char* to_string(AbortCause c) noexcept;
+
+/// Result of one transaction attempt.
+struct TxStatus {
+  AbortCause cause = AbortCause::kNone;
+  std::uint8_t code = 0;  ///< user code for kExplicit (like _xabort imm8)
+
+  bool committed() const noexcept { return cause == AbortCause::kNone; }
+};
+
+/// Hardware capacity limits, in 64-byte cache lines.
+///
+/// Numbers model the *effective* random-access footprint after which the
+/// paper's machines abort, not the raw cache sizes: Broadwell writes are
+/// bounded by the ~22KB L1 write buffer (352 lines); reads are tracked
+/// beyond L1 (the paper cites 4MB for sequential access) but random-access
+/// read sets evict and abort with high probability once they spill L1d, so
+/// the effective profile uses 512 lines (32KB). POWER8 tracks both reads
+/// and writes in an 8KB structure (128 lines).
+struct CapacityProfile {
+  const char* name;
+  std::uint32_t read_lines;
+  std::uint32_t write_lines;
+};
+
+inline constexpr CapacityProfile kBroadwell{"broadwell", 512, 352};
+inline constexpr CapacityProfile kPower8{"power8", 128, 128};
+/// For tests that want no capacity effects.
+inline constexpr CapacityProfile kUnbounded{"unbounded", ~0u, ~0u};
+
+struct EngineConfig {
+  CapacityProfile capacity = kBroadwell;
+  /// Probability, per transactional access, of a modelled interrupt abort.
+  double spurious_abort_rate = 0.0;
+  /// Dense thread ids must be < max_threads.
+  int max_threads = 128;
+  /// log2 of the version/lock table size; aliasing between distinct lines
+  /// models cache-index conflicts (tiny tables are used in tests for that).
+  int table_bits = 20;
+  /// Seed for the per-descriptor spurious-abort RNG streams.
+  std::uint64_t seed = 42;
+};
+
+/// Per-engine event counters (aggregated over all threads).
+struct EngineStats {
+  std::uint64_t commits_htm = 0;
+  std::uint64_t commits_rot = 0;
+  std::uint64_t aborts_conflict = 0;
+  std::uint64_t aborts_capacity = 0;
+  std::uint64_t aborts_explicit = 0;
+  std::uint64_t aborts_spurious = 0;
+
+  std::uint64_t total_aborts() const noexcept {
+    return aborts_conflict + aborts_capacity + aborts_explicit + aborts_spurious;
+  }
+};
+
+}  // namespace sprwl::htm

@@ -1,0 +1,95 @@
+// Passive reader-writer lock, after PRWL (Liu, Zhang, Chen — USENIX
+// ATC'14).
+//
+// Readers never perform an atomic read-modify-write on shared state: they
+// publish a per-thread version-stamped flag and a fence, and proceed unless
+// a writer is present. Writers serialize on a mutex, bump the global
+// version and wait until every reader slot is either inactive or stamped
+// with the new version (i.e., the reader acknowledged the writer). This is
+// the version-based consensus the paper's related-work section describes,
+// reduced to its message-passing core (the original distinguishes hot/cold
+// readers; our workloads are uniformly hot).
+#pragma once
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/costs.h"
+#include "common/platform.h"
+#include "common/scope_exit.h"
+#include "common/spin_mutex.h"
+#include "locks/stats.h"
+
+namespace sprwl::locks {
+
+class PassiveRWLock {
+ public:
+  explicit PassiveRWLock(int max_threads)
+      : slots_(static_cast<std::size_t>(max_threads)), modes_(max_threads) {}
+
+  template <class F>
+  void read(int /*cs_id*/, F&& f) {
+    auto& slot = *slots_[static_cast<std::size_t>(platform::thread_id())];
+    for (;;) {
+      const std::uint64_t v = version_.load(std::memory_order_acquire);
+      platform::advance(g_costs.store + g_costs.fence);
+      slot.store(make_active(v), std::memory_order_seq_cst);
+      if (version_.load(std::memory_order_seq_cst) == v &&
+          !writer_present_.load(std::memory_order_seq_cst)) {
+        break;
+      }
+      // A writer moved in: retreat and wait passively.
+      slot.store(kInactive, std::memory_order_release);
+      while (writer_present_.load(std::memory_order_acquire)) platform::pause();
+    }
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.store);
+        slot.store(kInactive, std::memory_order_release);
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+  }
+
+  template <class F>
+  void write(int /*cs_id*/, F&& f) {
+    mutex_.lock();
+    platform::advance(g_costs.store + g_costs.fence);
+    writer_present_.store(true, std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_seq_cst);
+    // Consensus: wait until no reader from an older version is active.
+    for (auto& s : slots_) {
+      while (s->load(std::memory_order_acquire) != kInactive) platform::pause();
+    }
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.store);
+        writer_present_.store(false, std::memory_order_release);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  LockStats stats() const { return modes_.snapshot(); }
+  void reset_stats() { modes_.reset(); }
+  static const char* name() noexcept { return "PRWL"; }
+
+ private:
+  static constexpr std::uint64_t kInactive = 0;
+  static std::uint64_t make_active(std::uint64_t version) noexcept {
+    return (version << 1) | 1;
+  }
+
+  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> slots_;
+  std::atomic<std::uint64_t> version_{0};
+  std::atomic<bool> writer_present_{false};
+  SpinMutex mutex_;
+  ModeRecorder modes_;
+};
+
+}  // namespace sprwl::locks

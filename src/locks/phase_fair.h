@@ -1,0 +1,86 @@
+// Phase-fair reader-writer lock (Brandenburg & Anderson, ECRTS'09), ticket
+// variant (PF-T).
+//
+// Phase-fairness alternates reader and writer phases: a writer waits for at
+// most one reader phase, and readers only wait for at most one writer. The
+// paper discusses PFRWLs as the pessimistic relative of SpRWL's scheduling
+// (Section 2); we include it as an extra baseline for the ablation benches.
+//
+// Layout of rin/rout: the upper bits count readers in units of kReader; the
+// two low bits of rin carry the presence (kPres) and phase id (kPhid) of
+// the writer currently in its entry protocol.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "common/costs.h"
+#include "common/platform.h"
+#include "common/scope_exit.h"
+#include "locks/stats.h"
+
+namespace sprwl::locks {
+
+class PhaseFairRWLock {
+ public:
+  explicit PhaseFairRWLock(int max_threads) : modes_(max_threads) {}
+
+  template <class F>
+  void read(int /*cs_id*/, F&& f) {
+    platform::advance(g_costs.cas);
+    const std::uint32_t w = rin_.fetch_add(kReader, std::memory_order_acquire) & kWmask;
+    if (w != 0) {
+      // A writer is present: wait until that exact writer incarnation
+      // leaves (its phase id changes or presence clears).
+      while ((rin_.load(std::memory_order_acquire) & kWmask) == w) platform::pause();
+    }
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.cas);
+        rout_.fetch_add(kReader, std::memory_order_release);
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+  }
+
+  template <class F>
+  void write(int /*cs_id*/, F&& f) {
+    platform::advance(g_costs.cas);
+    const std::uint32_t ticket = win_.fetch_add(1, std::memory_order_acquire);
+    while (wout_.load(std::memory_order_acquire) != ticket) platform::pause();
+    const std::uint32_t w = kPres | (ticket & kPhid);
+    platform::advance(g_costs.cas);
+    const std::uint32_t entered =
+        rin_.fetch_add(w, std::memory_order_acquire) & ~kWmask;
+    while (rout_.load(std::memory_order_acquire) != entered) platform::pause();
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.cas);
+        rin_.fetch_sub(w, std::memory_order_release);  // open the reader phase
+        platform::advance(g_costs.cas);
+        wout_.fetch_add(1, std::memory_order_release);  // admit the next writer
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  LockStats stats() const { return modes_.snapshot(); }
+  void reset_stats() { modes_.reset(); }
+  static const char* name() noexcept { return "PhaseFair"; }
+
+ private:
+  static constexpr std::uint32_t kPres = 0x2;
+  static constexpr std::uint32_t kPhid = 0x1;
+  static constexpr std::uint32_t kWmask = kPres | kPhid;
+  static constexpr std::uint32_t kReader = 0x4;
+
+  std::atomic<std::uint32_t> rin_{0};
+  std::atomic<std::uint32_t> rout_{0};
+  std::atomic<std::uint32_t> win_{0};
+  std::atomic<std::uint32_t> wout_{0};
+  ModeRecorder modes_;
+};
+
+}  // namespace sprwl::locks

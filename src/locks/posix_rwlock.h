@@ -1,0 +1,102 @@
+// Classic counter-based read-write lock ("RWL" in the paper's plots).
+//
+// Mirrors the design the paper attributes to the pthread implementation:
+// two counters protected by an internal mutex. We use writer preference
+// (arriving writers block new readers) so that the baseline does not starve
+// writers in read-dominated workloads; either policy scales equally poorly,
+// which is the property the evaluation exposes.
+//
+// Exposes the region-style interface shared by every lock in this library:
+//   lock.read(cs_id, [&]{ ... });   lock.write(cs_id, [&]{ ... });
+// cs_id identifies the critical section for statistics; pessimistic locks
+// ignore it.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "common/platform.h"
+#include "common/scope_exit.h"
+#include "common/spin_mutex.h"
+#include "locks/stats.h"
+
+namespace sprwl::locks {
+
+class PosixRWLock {
+ public:
+  explicit PosixRWLock(int max_threads) : modes_(max_threads) {}
+
+  template <class F>
+  void read(int /*cs_id*/, F&& f) {
+    for (;;) {
+      // Wait passively (like a futex sleeper) before touching the mutex.
+      while (writer_active_.load(std::memory_order_relaxed) ||
+             writers_waiting_.load(std::memory_order_relaxed) > 0) {
+        platform::pause();
+      }
+      mutex_.lock();
+      if (!writer_active_.load(std::memory_order_relaxed) &&
+          writers_waiting_.load(std::memory_order_relaxed) == 0) {
+        readers_.fetch_add(1, std::memory_order_relaxed);
+        mutex_.unlock();
+        break;
+      }
+      mutex_.unlock();
+      platform::pause();
+    }
+    {
+      ScopeExit release([&] {
+        mutex_.lock();
+        readers_.fetch_sub(1, std::memory_order_relaxed);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+  }
+
+  template <class F>
+  void write(int /*cs_id*/, F&& f) {
+    mutex_.lock();
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    mutex_.unlock();
+    for (;;) {
+      while (writer_active_.load(std::memory_order_relaxed) ||
+             readers_.load(std::memory_order_relaxed) > 0) {
+        platform::pause();
+      }
+      mutex_.lock();
+      if (!writer_active_.load(std::memory_order_relaxed) &&
+          readers_.load(std::memory_order_relaxed) == 0) {
+        writer_active_.store(true, std::memory_order_relaxed);
+        writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+        mutex_.unlock();
+        break;
+      }
+      mutex_.unlock();
+      platform::pause();
+    }
+    {
+      ScopeExit release([&] {
+        mutex_.lock();
+        writer_active_.store(false, std::memory_order_relaxed);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  LockStats stats() const { return modes_.snapshot(); }
+  void reset_stats() { modes_.reset(); }
+  static const char* name() noexcept { return "RWL"; }
+
+ private:
+  SpinMutex mutex_;
+  std::atomic<int> readers_{0};
+  std::atomic<int> writers_waiting_{0};
+  std::atomic<bool> writer_active_{false};
+  ModeRecorder modes_;
+};
+
+}  // namespace sprwl::locks

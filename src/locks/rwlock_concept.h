@@ -1,0 +1,24 @@
+// The region-style read-write-lock interface every lock in this library
+// implements. Critical sections are passed as callables (the transaction
+// demarcation mapping of the paper's Section 3: begin/commit of a read-only
+// or update transaction become a read or write lock acquisition); cs_id
+// identifies the section for per-section statistics and duration estimates.
+#pragma once
+
+#include <concepts>
+#include <utility>
+
+#include "locks/stats.h"
+
+namespace sprwl::locks {
+
+template <class L>
+concept RegionRWLock = requires(L lock, int cs_id) {
+  lock.read(cs_id, [] {});
+  lock.write(cs_id, [] {});
+  { lock.stats() } -> std::same_as<LockStats>;
+  lock.reset_stats();
+  { L::name() } -> std::convertible_to<const char*>;
+};
+
+}  // namespace sprwl::locks

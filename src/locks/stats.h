@@ -1,0 +1,83 @@
+// Commit-mode accounting shared by all lock implementations.
+//
+// The paper's evaluation breaks critical sections down by the mode in which
+// they eventually committed: HTM, ROT, GL (pessimistic fallback) and Unins
+// (SpRWL's uninstrumented reader path). Every lock in this library keeps
+// per-thread padded counters so the harness can regenerate those plots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cacheline.h"
+#include "common/platform.h"
+
+namespace sprwl::locks {
+
+/// Mode in which one critical section completed.
+enum class CommitMode : std::uint8_t { kHtm, kRot, kGl, kUnins, kPessimistic };
+
+struct OpModeCounts {
+  std::uint64_t htm = 0;
+  std::uint64_t rot = 0;
+  std::uint64_t gl = 0;
+  std::uint64_t unins = 0;
+  std::uint64_t pessimistic = 0;  ///< always-pessimistic locks (RWL, BRLock, ...)
+
+  std::uint64_t total() const noexcept { return htm + rot + gl + unins + pessimistic; }
+
+  void bump(CommitMode m) noexcept {
+    switch (m) {
+      case CommitMode::kHtm: ++htm; break;
+      case CommitMode::kRot: ++rot; break;
+      case CommitMode::kGl: ++gl; break;
+      case CommitMode::kUnins: ++unins; break;
+      case CommitMode::kPessimistic: ++pessimistic; break;
+    }
+  }
+
+  OpModeCounts& operator+=(const OpModeCounts& o) noexcept {
+    htm += o.htm;
+    rot += o.rot;
+    gl += o.gl;
+    unins += o.unins;
+    pessimistic += o.pessimistic;
+    return *this;
+  }
+};
+
+struct LockStats {
+  OpModeCounts reads;
+  OpModeCounts writes;
+};
+
+/// Per-thread, cache-line-padded recorder; snapshot() aggregates. Recording
+/// is uncharged (bookkeeping, not modelled work).
+class ModeRecorder {
+ public:
+  explicit ModeRecorder(int max_threads)
+      : slots_(static_cast<std::size_t>(max_threads)) {}
+
+  void record_read(CommitMode m) { mine().reads.bump(m); }
+  void record_write(CommitMode m) { mine().writes.bump(m); }
+
+  LockStats snapshot() const {
+    LockStats s;
+    for (const auto& slot : slots_) {
+      s.reads += slot.value.reads;
+      s.writes += slot.value.writes;
+    }
+    return s;
+  }
+
+  void reset() {
+    for (auto& slot : slots_) slot.value = LockStats{};
+  }
+
+ private:
+  LockStats& mine() { return slots_[static_cast<std::size_t>(platform::thread_id())].value; }
+
+  std::vector<CacheLinePadded<LockStats>> slots_;
+};
+
+}  // namespace sprwl::locks

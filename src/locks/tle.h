@@ -1,0 +1,79 @@
+// Plain transactional lock elision (TLE).
+//
+// Both readers and writers run the critical section as a hardware
+// transaction that subscribes to a single global fallback lock; after
+// max_retries failed attempts — or immediately on a capacity abort, the
+// retry policy the paper uses for every HTM baseline — the section runs
+// pessimistically under the lock. This is the "TLE" baseline of every
+// figure: excellent while critical sections fit HTM, cliff-edge once long
+// readers exceed capacity.
+#pragma once
+
+#include <utility>
+
+#include "common/platform.h"
+#include "common/scope_exit.h"
+#include "htm/engine.h"
+#include "locks/sgl.h"
+#include "locks/stats.h"
+
+namespace sprwl::locks {
+
+class TLELock {
+ public:
+  struct Config {
+    int max_threads = 64;
+    int max_retries = 10;
+  };
+
+  /// Explicit-abort code raised when the subscribed lock is found busy.
+  static constexpr std::uint8_t kCodeLockBusy = 0x01;
+
+  explicit TLELock(Config cfg) : cfg_(cfg), modes_(cfg.max_threads) {}
+
+  template <class F>
+  void read(int /*cs_id*/, F&& f) {
+    modes_.record_read(elide(std::forward<F>(f)));
+  }
+
+  template <class F>
+  void write(int /*cs_id*/, F&& f) {
+    modes_.record_write(elide(std::forward<F>(f)));
+  }
+
+  LockStats stats() const { return modes_.snapshot(); }
+  void reset_stats() { modes_.reset(); }
+  static const char* name() noexcept { return "TLE"; }
+
+ private:
+  template <class F>
+  CommitMode elide(F&& f) {
+    htm::Engine* engine = htm::Engine::current();
+    int attempts = 0;
+    for (;;) {
+      while (gl_.is_locked()) platform::pause();
+      ++attempts;
+      const htm::TxStatus status = engine->try_transaction([&] {
+        if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);  // subscription
+        f();
+      });
+      if (status.committed()) return CommitMode::kHtm;
+      if (status.cause == htm::AbortCause::kCapacity ||
+          attempts >= cfg_.max_retries) {
+        break;
+      }
+    }
+    gl_.lock();
+    {
+      ScopeExit release([&] { gl_.unlock(); });
+      f();
+    }
+    return CommitMode::kGl;
+  }
+
+  Config cfg_;
+  SglLock gl_;
+  ModeRecorder modes_;
+};
+
+}  // namespace sprwl::locks

@@ -1,0 +1,258 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/costs.h"
+
+#if defined(__x86_64__)
+#define SPRWL_FAST_FIBERS 1
+extern "C" {
+// Defined in fiber_switch.S.
+void sprwl_ctx_switch(void** save_rsp, void* restore_rsp);
+void sprwl_fiber_entry();
+// First C++ frame of a fresh fiber; referenced from fiber_switch.S.
+void sprwl_fiber_main();
+}
+#else
+#define SPRWL_FAST_FIBERS 0
+#include <ucontext.h>
+#endif
+
+namespace sprwl::sim {
+
+struct Simulator::FiberContext final : ExecutionContext {
+  Simulator* sim = nullptr;
+  Fiber* fiber = nullptr;
+
+  std::uint64_t now() override;
+  void advance(std::uint64_t cycles) override;
+  void pause() override;
+  void wait_until(std::uint64_t t) override;
+  int thread_id() override;
+};
+
+struct Simulator::Fiber {
+  std::unique_ptr<char[]> stack;
+  std::uint64_t time = 0;
+  std::uint32_t jitter = 0;  // per-fiber LCG state for pause jitter
+  bool done = false;
+  int id = 0;
+  Simulator* sim = nullptr;
+  std::exception_ptr error;
+  FiberContext exec_ctx;
+#if SPRWL_FAST_FIBERS
+  void* rsp = nullptr;
+#else
+  ucontext_t ctx{};
+#endif
+};
+
+// The fiber being switched into for the first time; consumed by the entry
+// thunk. One scheduler runs per OS thread, hence thread_local.
+thread_local Simulator::Fiber* t_entering_fiber = nullptr;
+
+std::uint64_t Simulator::FiberContext::now() { return fiber->time; }
+void Simulator::FiberContext::advance(std::uint64_t cycles) {
+  sim->fiber_advance(*fiber, cycles);
+}
+void Simulator::FiberContext::pause() {
+  // Spin iterations on real hardware never take exactly the same number of
+  // cycles; a deterministic simulator without jitter can lock coupled spin
+  // loops into a *permanent* periodic schedule (e.g. a reader whose
+  // re-check cadence never aligns with the gaps of an SGL writer convoy —
+  // a starvation the paper acknowledges as transient on real machines).
+  // A small per-fiber pseudo-random perturbation (deterministic given the
+  // run) breaks such lockstep without affecting costs materially.
+  fiber->jitter = fiber->jitter * 1664525u + 1013904223u;
+  sim->fiber_advance(*fiber, g_costs.pause + (fiber->jitter >> 28));
+}
+void Simulator::FiberContext::wait_until(std::uint64_t t) {
+  sim->fiber_wait_until(*fiber, t);
+}
+int Simulator::FiberContext::thread_id() { return fiber->id; }
+
+Simulator::Simulator(SimConfig cfg) : cfg_(cfg) {
+#if !SPRWL_FAST_FIBERS
+  main_ctx_ = new ucontext_t{};
+#endif
+}
+
+Simulator::~Simulator() {
+#if !SPRWL_FAST_FIBERS
+  delete static_cast<ucontext_t*>(main_ctx_);
+#endif
+}
+
+void Simulator::fiber_body(Fiber& f) {
+  try {
+    (*f.sim->body_)(f.id);
+  } catch (...) {
+    f.error = std::current_exception();
+  }
+  f.done = true;
+}
+
+#if SPRWL_FAST_FIBERS
+
+void Simulator::switch_to_fiber(Fiber& f) {
+  t_entering_fiber = &f;  // consumed only on a fiber's first activation
+  sprwl_ctx_switch(&sched_rsp_, f.rsp);
+}
+
+void Simulator::yield_to_scheduler(Fiber& f) {
+  sprwl_ctx_switch(&f.rsp, sched_rsp_);
+}
+
+void Simulator::exit_fiber(Fiber& f) {
+  // Permanently hand control back to the scheduler; the save slot is dead.
+  void* dead = nullptr;
+  (void)dead;
+  sprwl_ctx_switch(&f.rsp, f.sim->sched_rsp_);
+}
+
+void Simulator::prepare_fiber(Fiber& f) {
+  // Stack layout (from the top): [entry address][6 callee-saved slots].
+  // sprwl_ctx_switch pops the six slots, then `ret` enters
+  // sprwl_fiber_entry with rsp 16-byte aligned.
+  auto top = reinterpret_cast<std::uintptr_t>(f.stack.get()) + cfg_.stack_bytes;
+  top &= ~std::uintptr_t{15};
+  auto* sp = reinterpret_cast<void**>(top);
+  *--sp = reinterpret_cast<void*>(&sprwl_fiber_entry);
+  for (int i = 0; i < 6; ++i) *--sp = nullptr;
+  f.rsp = sp;
+}
+
+#else  // portable ucontext fallback
+
+void Simulator::switch_to_fiber(Fiber& f) {
+  t_entering_fiber = &f;
+  swapcontext(static_cast<ucontext_t*>(main_ctx_), &f.ctx);
+}
+
+void Simulator::yield_to_scheduler(Fiber& f) {
+  swapcontext(&f.ctx, static_cast<ucontext_t*>(main_ctx_));
+}
+
+void Simulator::exit_fiber(Fiber&) {}  // uc_link returns to the scheduler
+
+namespace {
+void ucontext_trampoline() {
+  Simulator::Fiber* f = t_entering_fiber;
+  t_entering_fiber = nullptr;
+  Simulator::fiber_body(*f);
+  // Falling off returns to uc_link (the scheduler's main context).
+}
+}  // namespace
+
+void Simulator::prepare_fiber(Fiber& f) {
+  getcontext(&f.ctx);
+  f.ctx.uc_stack.ss_sp = f.stack.get();
+  f.ctx.uc_stack.ss_size = cfg_.stack_bytes;
+  f.ctx.uc_link = static_cast<ucontext_t*>(main_ctx_);
+  makecontext(&f.ctx, &ucontext_trampoline, 0);
+}
+
+#endif
+
+void Simulator::run(int nthreads, const std::function<void(int)>& body) {
+  if (nthreads <= 0) return;
+  body_ = &body;
+  fibers_.clear();
+  fibers_.reserve(static_cast<std::size_t>(nthreads));
+
+  for (int i = 0; i < nthreads; ++i) {
+    auto f = std::make_unique<Fiber>();
+    f->id = i;
+    f->jitter = static_cast<std::uint32_t>(i) * 2654435761u + 1u;
+    f->sim = this;
+    f->stack = std::make_unique<char[]>(cfg_.stack_bytes);
+    f->exec_ctx.sim = this;
+    f->exec_ctx.fiber = f.get();
+    prepare_fiber(*f);
+    ready_.push(Entry{0, i});
+    fibers_.push_back(std::move(f));
+  }
+
+  schedule_loop();
+
+  final_time_ = 0;
+  std::exception_ptr first_error;
+  std::uint64_t first_error_time = ~0ULL;
+  for (const auto& f : fibers_) {
+    final_time_ = std::max(final_time_, f->time);
+    if (f->error && f->time < first_error_time) {
+      first_error = f->error;
+      first_error_time = f->time;
+    }
+  }
+  fibers_.clear();
+  body_ = nullptr;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Simulator::schedule_loop() {
+  while (!ready_.empty()) {
+    const Entry e = ready_.top();
+    ready_.pop();
+    Fiber& f = *fibers_[static_cast<std::size_t>(e.id)];
+    next_wake_ = ready_.empty() ? ~0ULL : ready_.top().time;
+    platform::set_context(&f.exec_ctx);
+    switch_to_fiber(f);
+    platform::set_context(nullptr);
+    if (!f.done) ready_.push(Entry{f.time, f.id});
+    // If a fiber errored out, the remaining ones either finish or hit the
+    // virtual-time limit deterministically; run() reports the earliest error.
+  }
+}
+
+void Simulator::fiber_advance(Fiber& f, std::uint64_t cycles) {
+  f.time += cycles;
+  if (f.time > cfg_.max_virtual_time) throw SimTimeLimitError(f.time);
+  if (f.time > next_wake_) yield_to_scheduler(f);
+}
+
+void Simulator::fiber_wait_until(Fiber& f, std::uint64_t t) {
+  if (t > f.time) {
+    f.time = t;
+    if (f.time > cfg_.max_virtual_time) throw SimTimeLimitError(f.time);
+  }
+  if (f.time > next_wake_) yield_to_scheduler(f);
+}
+
+void run_real_threads(int nthreads, const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nthreads));
+  threads.reserve(static_cast<std::size_t>(nthreads));
+  for (int i = 0; i < nthreads; ++i) {
+    threads.emplace_back([&, i] {
+      ThreadIdScope scope(i);
+      try {
+        body(i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace sprwl::sim
+
+#if SPRWL_FAST_FIBERS
+// First C++ frame of a fresh fiber (called from sprwl_fiber_entry in
+// fiber_switch.S). Runs the fiber body, then returns control to the
+// scheduler permanently.
+extern "C" void sprwl_fiber_main() {
+  using Fiber = sprwl::sim::Simulator::Fiber;
+  Fiber* f = sprwl::sim::t_entering_fiber;
+  sprwl::sim::t_entering_fiber = nullptr;
+  sprwl::sim::Simulator::fiber_body(*f);
+  sprwl::sim::Simulator::exit_fiber(*f);
+  __builtin_unreachable();
+}
+#endif

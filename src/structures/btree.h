@@ -1,0 +1,386 @@
+// Transactional B+-tree map (uint64 keys/values) over htm::Shared cells.
+//
+// The in-memory database port the paper benchmarks keeps every table behind
+// a B+-tree; range queries over such trees are the prototypical "long
+// read-only critical section" SpRWL targets. This is a real, complete tree
+// — splits, linked leaves for range scans, root growth — written as plain
+// sequential code over Shared cells: concurrency control is the *enclosing
+// lock's* job (HTM writers conflict-detect automatically, uninstrumented
+// readers rely on the RWLock protocol), exactly how the paper's
+// applications use their data structures.
+//
+// Deletion removes keys from leaves without rebalancing (industry-common
+// for concurrent trees; underfull leaves are absorbed by later inserts).
+// Nodes come from a pre-allocated pool with per-thread free segments, so
+// readers never chase freed memory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "htm/shared.h"
+
+namespace sprwl::structures {
+
+class BTree {
+ public:
+  static constexpr int kFanout = 8;  ///< max keys per node
+
+  struct Config {
+    std::uint32_t capacity = 1u << 14;  ///< node pool size
+    int max_threads = 64;
+  };
+
+  explicit BTree(Config cfg)
+      : cfg_(cfg),
+        pool_(cfg.capacity),
+        alloc_(static_cast<std::size_t>(cfg.max_threads)) {
+    if (cfg.capacity < 16) throw std::invalid_argument("BTree capacity too small");
+    // Node 0 is the initial (empty leaf) root; the rest is split across
+    // per-thread bump regions.
+    pool_[0].meta.raw_store(make_meta(true, 0));
+    pool_[0].next_leaf.raw_store(kNull);
+    root_.raw_store(0);
+    const std::uint32_t per_thread =
+        (cfg.capacity - 1) / static_cast<std::uint32_t>(alloc_.size());
+    std::uint32_t cursor = 1;
+    for (auto& a : alloc_) {
+      a.value.bump.raw_store(cursor);
+      a.value.bump_end = cursor + per_thread;
+      cursor += per_thread;
+    }
+  }
+
+  /// Point lookup; call inside a read (or write) critical section.
+  bool contains(std::uint64_t key) const {
+    const std::uint32_t leaf = descend(key);
+    const Node& n = pool_[leaf];
+    const int cnt = count_of(n.meta.load());
+    for (int i = 0; i < cnt; ++i) {
+      if (n.keys[i].load() == key) return true;
+    }
+    return false;
+  }
+
+  /// Point lookup returning the value through `out`.
+  bool lookup(std::uint64_t key, std::uint64_t& out) const {
+    const std::uint32_t leaf = descend(key);
+    const Node& n = pool_[leaf];
+    const int cnt = count_of(n.meta.load());
+    for (int i = 0; i < cnt; ++i) {
+      if (n.keys[i].load() == key) {
+        out = n.values[i].load();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of keys in [lo, hi], walking linked leaves — the range query.
+  std::uint64_t range_count(std::uint64_t lo, std::uint64_t hi) const {
+    std::uint64_t count = 0;
+    std::uint32_t leaf = descend(lo);
+    while (leaf != kNull) {
+      const Node& n = pool_[leaf];
+      const int cnt = count_of(n.meta.load());
+      bool past_end = false;
+      for (int i = 0; i < cnt; ++i) {
+        const std::uint64_t k = n.keys[i].load();
+        if (k > hi) {
+          past_end = true;
+          continue;
+        }
+        if (k >= lo) ++count;
+      }
+      if (past_end) break;
+      leaf = n.next_leaf.load();
+    }
+    return count;
+  }
+
+  /// Insert or update; call inside a write critical section. Returns false
+  /// if the key existed (value refreshed) or the node pool is exhausted
+  /// (insert dropped).
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    std::uint32_t path[kMaxDepth];
+    int depth = 0;
+    std::uint32_t node = root_.load();
+    for (;;) {
+      const Node& n = pool_[node];
+      const std::uint64_t meta = n.meta.load();
+      if (is_leaf(meta)) break;
+      assert(depth < kMaxDepth);
+      path[depth++] = node;
+      node = child_for(n, meta, key);
+    }
+
+    Node& leaf = pool_[node];
+    std::uint64_t meta = leaf.meta.load();
+    int cnt = count_of(meta);
+    for (int i = 0; i < cnt; ++i) {
+      if (leaf.keys[i].load() == key) {
+        leaf.values[i].store(value);
+        return false;
+      }
+    }
+
+    if (cnt == kFanout) {
+      // Reserve every node a worst-case split chain could need before
+      // mutating anything: a failed mid-split allocation would otherwise
+      // leave keys reachable through the leaf chain but not the tree.
+      if (!can_alloc(static_cast<std::uint32_t>(depth) + 2)) return false;
+      if (!split_leaf(node, path, depth)) return false;  // unreachable now
+      // Re-descend one level: the key now belongs to one of the halves.
+      const Node& old_leaf = pool_[node];
+      const std::uint32_t right = old_leaf.next_leaf.load();
+      const std::uint64_t split_key = pool_[right].keys[0].load();
+      node = key < split_key ? node : right;
+      Node& target = pool_[node];
+      meta = target.meta.load();
+      cnt = count_of(meta);
+      insert_into_leaf(target, cnt, key, value);
+      return true;
+    }
+    insert_into_leaf(leaf, cnt, key, value);
+    return true;
+  }
+
+  /// Remove; call inside a write critical section.
+  bool erase(std::uint64_t key) {
+    const std::uint32_t leaf_idx = descend(key);
+    Node& leaf = pool_[leaf_idx];
+    const std::uint64_t meta = leaf.meta.load();
+    const int cnt = count_of(meta);
+    for (int i = 0; i < cnt; ++i) {
+      if (leaf.keys[i].load() == key) {
+        // Shift the tail left; no rebalancing (see header comment).
+        for (int j = i; j + 1 < cnt; ++j) {
+          leaf.keys[j].store(leaf.keys[j + 1].load());
+          leaf.values[j].store(leaf.values[j + 1].load());
+        }
+        leaf.meta.store(make_meta(true, cnt - 1));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- raw verification helpers (quiescent state only) ---------------------
+
+  std::size_t raw_size() const {
+    std::size_t total = 0;
+    std::uint32_t leaf = raw_leftmost_leaf();
+    while (leaf != kNull) {
+      total += static_cast<std::size_t>(count_of(pool_[leaf].meta.raw_load()));
+      leaf = pool_[leaf].next_leaf.raw_load();
+    }
+    return total;
+  }
+
+  /// Structural invariants: keys sorted and unique along the leaf chain,
+  /// inner separators consistent with subtree contents.
+  bool raw_validate() const {
+    std::uint64_t prev = 0;
+    bool first = true;
+    std::uint32_t leaf = raw_leftmost_leaf();
+    while (leaf != kNull) {
+      const Node& n = pool_[leaf];
+      const int cnt = count_of(n.meta.raw_load());
+      for (int i = 0; i < cnt; ++i) {
+        const std::uint64_t k = n.keys[i].raw_load();
+        if (!first && k <= prev) return false;
+        prev = k;
+        first = false;
+      }
+      leaf = n.next_leaf.raw_load();
+    }
+    return true;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  static constexpr int kMaxDepth = 16;
+
+  // meta word: bit0 = leaf flag, bits 1..7 = key count.
+  static constexpr std::uint64_t make_meta(bool leaf, int count) noexcept {
+    return (static_cast<std::uint64_t>(count) << 1) | (leaf ? 1 : 0);
+  }
+  static constexpr bool is_leaf(std::uint64_t meta) noexcept { return (meta & 1) != 0; }
+  static constexpr int count_of(std::uint64_t meta) noexcept {
+    return static_cast<int>(meta >> 1);
+  }
+
+  struct Node {
+    htm::Shared<std::uint64_t> meta;
+    htm::Shared<std::uint64_t> keys[kFanout];
+    htm::Shared<std::uint64_t> values[kFanout];      // leaves only
+    htm::Shared<std::uint32_t> children[kFanout + 1];  // inner only
+    htm::Shared<std::uint32_t> next_leaf;              // leaves only
+  };
+
+  struct ThreadAlloc {
+    htm::Shared<std::uint32_t> bump;
+    std::uint32_t bump_end = 0;
+  };
+
+  /// Inner-node routing: child i covers keys < keys[i]; last child covers
+  /// the rest.
+  static std::uint32_t child_for(const Node& n, std::uint64_t meta,
+                                 std::uint64_t key) {
+    const int cnt = count_of(meta);
+    for (int i = 0; i < cnt; ++i) {
+      if (key < n.keys[i].load()) return n.children[i].load();
+    }
+    return n.children[cnt].load();
+  }
+
+  std::uint32_t descend(std::uint64_t key) const {
+    std::uint32_t node = root_.load();
+    for (;;) {
+      const Node& n = pool_[node];
+      const std::uint64_t meta = n.meta.load();
+      if (is_leaf(meta)) return node;
+      node = child_for(n, meta, key);
+    }
+  }
+
+  std::uint32_t raw_leftmost_leaf() const {
+    std::uint32_t node = root_.raw_load();
+    while (!is_leaf(pool_[node].meta.raw_load())) {
+      node = pool_[node].children[0].raw_load();
+    }
+    return node;
+  }
+
+  ThreadAlloc& my_alloc() {
+    const int tid = platform::thread_id();
+    return alloc_[static_cast<std::size_t>(tid >= 0 ? tid : 0) % alloc_.size()]
+        .value;
+  }
+
+  bool can_alloc(std::uint32_t n) {
+    ThreadAlloc& a = my_alloc();
+    return a.bump.load() + n <= a.bump_end;
+  }
+
+  std::uint32_t alloc_node() {
+    ThreadAlloc& a = my_alloc();
+    const std::uint32_t b = a.bump.load();
+    if (b >= a.bump_end) return kNull;
+    a.bump.store(b + 1);
+    return b;
+  }
+
+  static void insert_into_leaf(Node& leaf, int cnt, std::uint64_t key,
+                               std::uint64_t value) {
+    int pos = cnt;
+    while (pos > 0 && leaf.keys[pos - 1].load() > key) {
+      leaf.keys[pos].store(leaf.keys[pos - 1].load());
+      leaf.values[pos].store(leaf.values[pos - 1].load());
+      --pos;
+    }
+    leaf.keys[pos].store(key);
+    leaf.values[pos].store(value);
+    leaf.meta.store(make_meta(true, cnt + 1));
+  }
+
+  /// Splits the full leaf `node`, pushing the separator into the parent
+  /// chain (splitting parents as needed, growing the root last). Returns
+  /// false (tree unchanged in effect) when the pool is exhausted.
+  bool split_leaf(std::uint32_t node, const std::uint32_t* path, int depth) {
+    const std::uint32_t right_idx = alloc_node();
+    if (right_idx == kNull) return false;
+    Node& left = pool_[node];
+    Node& right = pool_[right_idx];
+    constexpr int kHalf = kFanout / 2;
+    for (int i = 0; i < kHalf; ++i) {
+      right.keys[i].store(left.keys[kHalf + i].load());
+      right.values[i].store(left.values[kHalf + i].load());
+    }
+    right.meta.store(make_meta(true, kHalf));
+    right.next_leaf.store(left.next_leaf.load());
+    left.next_leaf.store(right_idx);
+    left.meta.store(make_meta(true, kHalf));
+    return push_up(path, depth, right.keys[0].load(), node, right_idx);
+  }
+
+  bool push_up(const std::uint32_t* path, int depth, std::uint64_t sep,
+               std::uint32_t left_child, std::uint32_t right_child) {
+    if (depth == 0) return grow_root(sep, left_child, right_child);
+    const std::uint32_t parent_idx = path[depth - 1];
+    Node& parent = pool_[parent_idx];
+    const std::uint64_t meta = parent.meta.load();
+    const int cnt = count_of(meta);
+    if (cnt < kFanout) {
+      // Insert separator + right child at the routing position.
+      int pos = cnt;
+      while (pos > 0 && parent.keys[pos - 1].load() > sep) {
+        parent.keys[pos].store(parent.keys[pos - 1].load());
+        parent.children[pos + 1].store(parent.children[pos].load());
+        --pos;
+      }
+      parent.keys[pos].store(sep);
+      parent.children[pos + 1].store(right_child);
+      parent.meta.store(make_meta(false, cnt + 1));
+      return true;
+    }
+    // Parent full: split it, then retry the insertion one level up. The
+    // middle key moves up; keys right of it (and their children) move to
+    // the new node.
+    const std::uint32_t right_idx = alloc_node();
+    if (right_idx == kNull) return false;
+    Node& right = pool_[right_idx];
+    constexpr int kHalf = kFanout / 2;
+    const std::uint64_t mid_key = parent.keys[kHalf].load();
+    int rcnt = 0;
+    for (int i = kHalf + 1; i < kFanout; ++i, ++rcnt) {
+      right.keys[rcnt].store(parent.keys[i].load());
+      right.children[rcnt].store(parent.children[i].load());
+    }
+    right.children[rcnt].store(parent.children[kFanout].load());
+    right.meta.store(make_meta(false, rcnt));
+    parent.meta.store(make_meta(false, kHalf));
+    if (!push_up(path, depth - 1, mid_key, parent_idx, right_idx)) return false;
+    // Now route the pending separator into the correct half.
+    Node& target = sep < mid_key ? parent : right;
+    const std::uint64_t tmeta = target.meta.load();
+    const int tcnt = count_of(tmeta);
+    int pos = tcnt;
+    while (pos > 0 && target.keys[pos - 1].load() > sep) {
+      target.keys[pos].store(target.keys[pos - 1].load());
+      target.children[pos + 1].store(target.children[pos].load());
+      --pos;
+    }
+    target.keys[pos].store(sep);
+    target.children[pos + 1].store(right_child);
+    target.meta.store(make_meta(false, tcnt + 1));
+    (void)left_child;
+    return true;
+  }
+
+  bool grow_root(std::uint64_t sep, std::uint32_t left_child,
+                 std::uint32_t right_child) {
+    const std::uint32_t new_root = alloc_node();
+    if (new_root == kNull) return false;
+    Node& r = pool_[new_root];
+    r.keys[0].store(sep);
+    r.children[0].store(left_child);
+    r.children[1].store(right_child);
+    r.meta.store(make_meta(false, 1));
+    root_.store(new_root);
+    return true;
+  }
+
+  Config cfg_;
+  htm::Shared<std::uint32_t> root_;
+  aligned_vector<Node> pool_;
+  std::vector<CacheLinePadded<ThreadAlloc>> alloc_;
+};
+
+}  // namespace sprwl::structures

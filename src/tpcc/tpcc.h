@@ -1,0 +1,296 @@
+// In-memory TPC-C implementation (from scratch, after the standalone
+// in-memory port the paper uses [15,36]).
+//
+// The database is a set of flat, pre-allocated tables whose *mutable*
+// fields live in htm::Shared cells, so the five transactions run correctly
+// as HTM writer transactions, SGL-fallback writers and uninstrumented
+// readers — the paper adapts TPC-C by executing read-only transactions
+// (Order-Status, Stock-Level) as read critical sections and update
+// transactions (New-Order, Payment, Delivery) as write critical sections
+// of one process-wide RWLock.
+//
+// Scaling: cardinalities are reduced from the spec (3000 customers/district
+// -> 300, 100k items -> 10k, order history kept in a per-district ring of
+// the most recent orders) so dozens of warehouses fit in memory; the
+// *shape* of each transaction — which tables it touches, how many rows,
+// read-only vs update — follows clause 2 of the spec, which is what the
+// lock/HTM behaviour depends on. Money is exact (integer cents), rates are
+// per-mille integers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "common/rng.h"
+#include "htm/shared.h"
+#include "tpcc/index_shadow.h"
+#include "tpcc/tpcc_random.h"
+
+namespace sprwl::tpcc {
+
+struct Scale {
+  int warehouses = 4;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 300;  ///< spec: 3000
+  int items = 10000;                 ///< spec: 100000
+  /// Orders retained per district (power of two ring; the spec keeps all
+  /// history — Stock-Level only ever joins the last 20 orders, Order-Status
+  /// the customer's most recent one, so a ring preserves behaviour).
+  int order_ring = 128;
+  int max_threads = 64;
+  /// History rows per thread (append-only table, per-thread segments).
+  int history_per_thread = 1 << 14;
+  std::uint64_t seed = 7;
+};
+
+// --- rows -------------------------------------------------------------------
+
+struct ItemRow {  // read-only after population
+  std::uint32_t im_id = 0;
+  std::int64_t price_cents = 0;
+  std::string name;
+  std::string data;
+};
+
+struct WarehouseRow {
+  htm::Shared<std::int64_t> ytd_cents;
+  std::int64_t tax_permille = 0;  // immutable
+  std::string name;
+};
+
+struct alignas(kCacheLineSize) DistrictRow {
+  htm::Shared<std::int64_t> ytd_cents;
+  htm::Shared<std::uint32_t> next_o_id;  // next order number to assign
+  std::int64_t tax_permille = 0;         // immutable
+  std::string name;
+};
+
+struct CustomerRow {
+  htm::Shared<std::int64_t> balance_cents;
+  htm::Shared<std::int64_t> ytd_payment_cents;
+  htm::Shared<std::uint32_t> payment_cnt;
+  htm::Shared<std::uint32_t> delivery_cnt;
+  /// Ring slot + 1 of this customer's most recent order; 0 = none.
+  htm::Shared<std::uint32_t> last_order_slot;
+  htm::SharedString<240> data;  ///< scaled from the spec's 500 chars
+  // Immutable after population:
+  std::uint16_t last_code = 0;  ///< last-name code (index into name table)
+  bool good_credit = true;
+  std::int64_t discount_permille = 0;
+  std::int64_t credit_lim_cents = 0;
+  std::string first;
+  std::string last;
+};
+
+struct OrderRow {
+  htm::Shared<std::uint32_t> id;        ///< o_id; 0 = empty slot
+  htm::Shared<std::uint32_t> c_id;
+  htm::Shared<std::uint32_t> carrier_id;  ///< 0 = undelivered
+  htm::Shared<std::uint32_t> ol_cnt;
+  htm::Shared<std::uint64_t> entry_d;
+  htm::Shared<std::uint32_t> all_local;
+};
+
+struct OrderLineRow {
+  htm::Shared<std::uint32_t> i_id;
+  htm::Shared<std::uint32_t> supply_w;
+  htm::Shared<std::uint32_t> quantity;
+  htm::Shared<std::int64_t> amount_cents;
+  htm::Shared<std::uint64_t> delivery_d;  ///< 0 = undelivered
+  htm::SharedString<24> dist_info;
+};
+
+struct StockRow {
+  htm::Shared<std::uint32_t> quantity;
+  htm::Shared<std::int64_t> ytd;
+  htm::Shared<std::uint32_t> order_cnt;
+  htm::Shared<std::uint32_t> remote_cnt;
+  // Immutable after population:
+  std::array<std::array<char, 24>, 10> dist;  ///< S_DIST_01 .. S_DIST_10
+  std::string data;
+};
+
+struct HistoryRow {
+  htm::Shared<std::uint32_t> c_id;
+  htm::Shared<std::uint32_t> c_d_id;
+  htm::Shared<std::uint32_t> c_w_id;
+  htm::Shared<std::uint32_t> d_id;
+  htm::Shared<std::uint32_t> w_id;
+  htm::Shared<std::int64_t> amount_cents;
+};
+
+// --- transaction inputs / outputs -------------------------------------------
+
+static constexpr int kMaxOrderLines = 15;
+
+struct NewOrderInput {
+  int w_id;  // home warehouse
+  int d_id;
+  int c_id;
+  int ol_cnt;  // 5..15
+  bool rollback;  ///< the spec's 1% unused-item rollback case
+  struct Line {
+    int i_id;
+    int supply_w_id;  // == w_id for 99% of lines
+    int quantity;     // 1..10
+  };
+  std::array<Line, kMaxOrderLines> lines;
+  std::uint64_t entry_d;
+};
+
+struct NewOrderResult {
+  bool committed = false;  ///< false for the 1% rollback case
+  std::int64_t total_cents = 0;
+  std::uint32_t o_id = 0;
+};
+
+struct PaymentInput {
+  int w_id, d_id;          // home district taking the payment
+  int c_w_id, c_d_id;      // customer residence (15% remote)
+  bool by_last_name;       // 60%
+  int c_id;                // when !by_last_name
+  std::uint16_t last_code; // when by_last_name
+  std::int64_t amount_cents;
+};
+
+struct PaymentResult {
+  int c_id = 0;
+  std::int64_t balance_cents = 0;
+};
+
+struct OrderStatusInput {
+  int w_id, d_id;
+  bool by_last_name;
+  int c_id;
+  std::uint16_t last_code;
+};
+
+struct OrderStatusResult {
+  int c_id = 0;
+  std::uint32_t o_id = 0;      // 0 = no order found
+  std::uint32_t carrier_id = 0;
+  int lines = 0;
+  std::int64_t balance_cents = 0;
+};
+
+struct DeliveryInput {
+  int w_id;
+  int carrier_id;  // 1..10
+  std::uint64_t delivery_d;
+};
+
+struct DeliveryResult {
+  int delivered = 0;  ///< districts with an order delivered (<= 10)
+};
+
+struct StockLevelInput {
+  int w_id, d_id;
+  int threshold;  // 10..20
+};
+
+struct StockLevelResult {
+  int low_stock = 0;
+  int scanned_lines = 0;
+};
+
+// --- database ----------------------------------------------------------------
+
+class Database {
+ public:
+  explicit Database(Scale scale);
+  ~Database();  // defined where Warehouse/District are complete
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Single-threaded, raw-store population per clause 4.3.3 (scaled).
+  void populate();
+
+  // The five transactions (clause 2). Each must run inside the appropriate
+  // critical section: New-Order / Payment / Delivery under a write lock,
+  // Order-Status / Stock-Level under a read lock.
+  NewOrderResult new_order(const NewOrderInput& in);
+  PaymentResult payment(const PaymentInput& in);
+  OrderStatusResult order_status(const OrderStatusInput& in);
+  DeliveryResult delivery(const DeliveryInput& in);
+  StockLevelResult stock_level(const StockLevelInput& in);
+
+  // Input generators per clause 2 percentages. Deterministic given rng.
+  NewOrderInput make_new_order_input(Rng& rng, int home_w) const;
+  PaymentInput make_payment_input(Rng& rng, int home_w) const;
+  OrderStatusInput make_order_status_input(Rng& rng, int home_w) const;
+  DeliveryInput make_delivery_input(Rng& rng, int home_w) const;
+  StockLevelInput make_stock_level_input(Rng& rng, int home_w) const;
+
+  const Scale& scale() const noexcept { return scale_; }
+
+  // --- consistency conditions (clause 3.3.2), raw reads, quiescent only ---
+  /// C1: for each warehouse, W_YTD == sum of its districts' D_YTD.
+  bool check_warehouse_ytd() const;
+  /// C2: per district, D_NEXT_O_ID - 1 == max order id in the ring.
+  bool check_next_order_id() const;
+  /// C3: every undelivered order in the new-order queue exists in the ring
+  /// with carrier 0; delivered orders are not queued.
+  bool check_new_order_queue() const;
+  /// C4: per order, O_OL_CNT equals its populated order lines.
+  bool check_order_line_counts() const;
+
+  /// Aggregate balance invariant used by the concurrency tests:
+  /// sum(c_balance) + sum(payments) - sum(delivered ol_amount) == 0.
+  std::int64_t raw_total_balance_drift() const;
+
+  /// Raw views for tests (quiescent state only).
+  std::string raw_customer_data(int w, int d, int c) const;
+  bool raw_customer_good_credit(int w, int d, int c) const;
+
+ private:
+  friend class DatabaseTestPeer;
+
+  struct District;
+  struct Warehouse;
+
+  std::uint32_t customer_index(int w, int d, int c) const noexcept;
+  District& district(int w, int d) noexcept;
+  const District& district(int w, int d) const noexcept;
+  CustomerRow& customer(int w, int d, int c) noexcept;
+  const CustomerRow& customer(int w, int d, int c) const noexcept;
+  StockRow& stock(int w, int i) noexcept;
+  const StockRow& stock(int w, int i) const noexcept;
+
+  /// Clause 2.5.2.2/2.6.2.2: pick the ceil(n/2)-th customer (1-based) among
+  /// those with the given last name, ordered by first name.
+  int select_customer_by_last_name(int w, int d, std::uint16_t code) const;
+
+  HistoryRow& next_history_row();
+
+  // Composite index keys for the shadow trees.
+  std::uint64_t district_key(int w, int d, std::uint64_t k) const noexcept {
+    return (static_cast<std::uint64_t>(w) * 100 + static_cast<std::uint64_t>(d))
+               << 32 |
+           k;
+  }
+
+  Scale scale_;
+  NuRand nurand_;
+
+  std::vector<ItemRow> items_;
+  std::vector<std::unique_ptr<Warehouse>> warehouses_;
+  std::vector<CacheLinePadded<htm::Shared<std::uint32_t>>> history_next_;
+  aligned_vector<HistoryRow> history_;
+
+  // Shadow B+-trees (see index_shadow.h): every logical index access walks
+  // one, giving transactions the read/write footprint and conflict surface
+  // of the tree-indexed port the paper benchmarks.
+  IndexShadow item_index_{2048, 64};
+  IndexShadow stock_index_{8192, 256};
+  IndexShadow customer_index_{4096, 128};
+  IndexShadow order_index_{8192, 256};
+  IndexShadow orderline_index_{16384, 512};
+};
+
+}  // namespace sprwl::tpcc

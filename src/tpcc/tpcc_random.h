@@ -1,0 +1,72 @@
+// TPC-C input generation: NURand, customer last names and random strings,
+// per clauses 2.1.4-2.1.6 and 4.3.2 of the TPC-C specification (rev 5.11).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace sprwl::tpcc {
+
+/// The spec's non-uniform random distribution:
+/// NURand(A, x, y) = (((random(0,A) | random(x,y)) + C) % (y - x + 1)) + x.
+/// C is a per-field run-time constant (clause 2.1.6.1).
+class NuRand {
+ public:
+  explicit NuRand(std::uint64_t c_last, std::uint64_t c_id, std::uint64_t i_id) noexcept
+      : c_last_(c_last), c_id_(c_id), i_id_(i_id) {}
+
+  std::uint64_t last_name_code(Rng& rng, std::uint64_t max_code) const {
+    return nurand(rng, 255, 0, max_code, c_last_);
+  }
+  std::uint64_t customer_id(Rng& rng, std::uint64_t customers) const {
+    return nurand(rng, 1023, 1, customers, c_id_);
+  }
+  std::uint64_t item_id(Rng& rng, std::uint64_t items) const {
+    return nurand(rng, 8191, 1, items, i_id_);
+  }
+
+ private:
+  static std::uint64_t nurand(Rng& rng, std::uint64_t a, std::uint64_t x,
+                              std::uint64_t y, std::uint64_t c) {
+    return (((rng.next_in(0, a) | rng.next_in(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  std::uint64_t c_last_;
+  std::uint64_t c_id_;
+  std::uint64_t i_id_;
+};
+
+/// Clause 4.3.2.3: last names are three syllables selected by the digits of
+/// a code in [0, 999].
+inline std::string last_name(std::uint64_t code) {
+  static const char* const kSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",
+                                           "PRES",  "ESE",   "ANTI", "CALLY",
+                                           "ATION", "EING"};
+  std::string out;
+  out += kSyllables[(code / 100) % 10];
+  out += kSyllables[(code / 10) % 10];
+  out += kSyllables[code % 10];
+  return out;
+}
+
+/// a-string: random alphanumeric string of length in [lo, hi].
+inline std::string random_astring(Rng& rng, std::size_t lo, std::size_t hi) {
+  static const char kAlpha[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const std::size_t n = lo + static_cast<std::size_t>(rng.next_below(hi - lo + 1));
+  std::string out(n, '\0');
+  for (auto& ch : out) ch = kAlpha[rng.next_below(sizeof(kAlpha) - 1)];
+  return out;
+}
+
+/// n-string: random numeric string of length in [lo, hi].
+inline std::string random_nstring(Rng& rng, std::size_t lo, std::size_t hi) {
+  const std::size_t n = lo + static_cast<std::size_t>(rng.next_below(hi - lo + 1));
+  std::string out(n, '\0');
+  for (auto& ch : out) ch = static_cast<char>('0' + rng.next_below(10));
+  return out;
+}
+
+}  // namespace sprwl::tpcc

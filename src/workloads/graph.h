@@ -1,0 +1,250 @@
+// Graph workload: "long traversals" (the second workload class the paper's
+// introduction motivates alongside range queries).
+//
+// A directed graph in pooled adjacency lists over htm::Shared cells:
+// readers run bounded breadth-first traversals (hundreds to thousands of
+// shared loads — far beyond any HTM capacity), writers add or remove single
+// edges. Like the hash map, the structure is plain sequential code; the
+// enclosing RWLock provides all concurrency control, so the structure works
+// identically under HTM writers, SGL writers and uninstrumented readers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "common/rng.h"
+#include "htm/shared.h"
+
+namespace sprwl::workloads {
+
+class Graph {
+ public:
+  struct Config {
+    std::uint32_t nodes = 4096;
+    std::uint32_t edge_capacity = 1u << 16;  ///< edge-cell pool size
+    int max_threads = 64;
+  };
+
+  explicit Graph(Config cfg)
+      : cfg_(cfg),
+        heads_(cfg.nodes),
+        pool_(cfg.edge_capacity),
+        alloc_(static_cast<std::size_t>(cfg.max_threads)) {
+    if (cfg.nodes == 0) throw std::invalid_argument("nodes must be > 0");
+    for (auto& h : heads_) h.raw_store(kNull);
+    for (auto& a : alloc_) a.value.free_head.raw_store(kNull);
+    carve_regions(0);
+  }
+
+  /// Single-threaded population with `edges` random edges; consumes pool
+  /// cells from the front and re-carves the remainder into per-thread
+  /// segments.
+  void populate(std::uint64_t edges, Rng& rng) {
+    for (std::uint64_t i = 0; i < edges; ++i) {
+      const auto from = static_cast<std::uint32_t>(rng.next_below(cfg_.nodes));
+      const auto to = static_cast<std::uint32_t>(rng.next_below(cfg_.nodes));
+      raw_add_edge(from, to);
+    }
+    carve_regions(populate_cursor_);
+  }
+
+  /// Adds edge from->to; call inside a write critical section. Returns
+  /// false if the edge exists or the caller's pool segment is exhausted.
+  bool add_edge(std::uint32_t from, std::uint32_t to) {
+    std::uint32_t e = heads_[from].load();
+    while (e != kNull) {
+      const Edge& edge = pool_[e];
+      if (edge.to.load() == to) return false;
+      e = edge.next.load();
+    }
+    const std::uint32_t fresh = alloc_edge();
+    if (fresh == kNull) return false;
+    Edge& edge = pool_[fresh];
+    edge.to.store(to);
+    edge.next.store(heads_[from].load());
+    heads_[from].store(fresh);
+    return true;
+  }
+
+  /// Removes edge from->to; call inside a write critical section.
+  bool remove_edge(std::uint32_t from, std::uint32_t to) {
+    std::uint32_t e = heads_[from].load();
+    std::uint32_t prev = kNull;
+    while (e != kNull) {
+      Edge& edge = pool_[e];
+      if (edge.to.load() == to) {
+        const std::uint32_t next = edge.next.load();
+        if (prev == kNull) {
+          heads_[from].store(next);
+        } else {
+          pool_[prev].next.store(next);
+        }
+        free_edge(e);
+        return true;
+      }
+      prev = e;
+      e = edge.next.load();
+    }
+    return false;
+  }
+
+  /// Bounded BFS from `start`: number of distinct nodes reached within
+  /// `max_visits` dequeues — the long-traversal reader. Uses only stack /
+  /// private memory besides the shared adjacency cells.
+  std::uint32_t bfs_count(std::uint32_t start, std::uint32_t max_visits) const {
+    // Private scratch: visited bitmap + queue. Allocation is private
+    // memory and therefore invisible to conflict detection, like a real
+    // traversal's working set.
+    std::vector<std::uint64_t> visited((cfg_.nodes + 63) / 64, 0);
+    std::vector<std::uint32_t> queue;
+    queue.reserve(max_visits);
+    auto mark = [&](std::uint32_t n) {
+      auto& word = visited[n >> 6];
+      const std::uint64_t bit = 1ULL << (n & 63);
+      const bool fresh = (word & bit) == 0;
+      word |= bit;
+      return fresh;
+    };
+    mark(start);
+    queue.push_back(start);
+    std::uint32_t reached = 1;
+    std::size_t head = 0;
+    while (head < queue.size() && head < max_visits) {
+      const std::uint32_t n = queue[head++];
+      std::uint32_t e = heads_[n].load();
+      while (e != kNull) {
+        const Edge& edge = pool_[e];
+        const std::uint32_t to = edge.to.load();
+        if (mark(to)) {
+          ++reached;
+          queue.push_back(to);
+        }
+        e = edge.next.load();
+      }
+    }
+    return reached;
+  }
+
+  /// Membership test; call inside a read (or write) critical section.
+  bool has_edge(std::uint32_t from, std::uint32_t to) const {
+    std::uint32_t e = heads_[from].load();
+    while (e != kNull) {
+      if (pool_[e].to.load() == to) return true;
+      e = pool_[e].next.load();
+    }
+    return false;
+  }
+
+  /// Out-degree of a node (short reader).
+  std::uint32_t degree(std::uint32_t node) const {
+    std::uint32_t n = 0;
+    std::uint32_t e = heads_[node].load();
+    while (e != kNull) {
+      ++n;
+      e = pool_[e].next.load();
+    }
+    return n;
+  }
+
+  // --- raw verification (quiescent state only) -----------------------------
+
+  std::size_t raw_edge_count() const {
+    std::size_t n = 0;
+    for (const auto& h : heads_) {
+      std::uint32_t e = h.raw_load();
+      while (e != kNull) {
+        ++n;
+        e = pool_[e].next.raw_load();
+      }
+    }
+    return n;
+  }
+
+  bool raw_has_edge(std::uint32_t from, std::uint32_t to) const {
+    std::uint32_t e = heads_[from].raw_load();
+    while (e != kNull) {
+      if (pool_[e].to.raw_load() == to) return true;
+      e = pool_[e].next.raw_load();
+    }
+    return false;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+
+  struct Edge {
+    htm::Shared<std::uint32_t> to;
+    htm::Shared<std::uint32_t> next;
+  };
+
+  struct ThreadAlloc {
+    htm::Shared<std::uint32_t> free_head;
+    htm::Shared<std::uint32_t> bump;
+    std::uint32_t bump_end = 0;
+  };
+
+  void carve_regions(std::uint32_t first) {
+    const std::uint32_t remaining = cfg_.edge_capacity - first;
+    const std::uint32_t per_thread =
+        remaining / static_cast<std::uint32_t>(alloc_.size());
+    std::uint32_t cursor = first;
+    for (auto& a : alloc_) {
+      a.value.bump.raw_store(cursor);
+      a.value.bump_end = cursor + per_thread;
+      cursor += per_thread;
+    }
+  }
+
+  void raw_add_edge(std::uint32_t from, std::uint32_t to) {
+    // Population-time variant of add_edge using raw accessors.
+    std::uint32_t e = heads_[from].raw_load();
+    while (e != kNull) {
+      if (pool_[e].to.raw_load() == to) return;
+      e = pool_[e].next.raw_load();
+    }
+    if (populate_cursor_ >= cfg_.edge_capacity) return;
+    const std::uint32_t fresh = populate_cursor_++;
+    pool_[fresh].to.raw_store(to);
+    pool_[fresh].next.raw_store(heads_[from].raw_load());
+    heads_[from].raw_store(fresh);
+  }
+
+  std::uint32_t alloc_edge() {
+    auto& a = alloc_[static_cast<std::size_t>(platform::thread_id()) %
+                     alloc_.size()]
+                  .value;
+    const std::uint32_t head = a.free_head.load();
+    if (head != kNull) {
+      a.free_head.store(pool_[head].next.load());
+      return head;
+    }
+    const std::uint32_t b = a.bump.load();
+    if (b < a.bump_end) {
+      a.bump.store(b + 1);
+      return b;
+    }
+    return kNull;
+  }
+
+  void free_edge(std::uint32_t e) {
+    auto& a = alloc_[static_cast<std::size_t>(platform::thread_id()) %
+                     alloc_.size()]
+                  .value;
+    pool_[e].next.store(a.free_head.load());
+    a.free_head.store(e);
+  }
+
+  Config cfg_;
+  std::uint32_t populate_cursor_ = 0;
+  aligned_vector<htm::Shared<std::uint32_t>> heads_;
+  aligned_vector<Edge> pool_;
+  std::vector<CacheLinePadded<ThreadAlloc>> alloc_;
+};
+
+}  // namespace sprwl::workloads

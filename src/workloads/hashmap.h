@@ -1,0 +1,219 @@
+// The hash-map micro-benchmark workload of the paper's sensitivity analysis
+// (Section 4.1): a chained hash map protected by a single read-write lock,
+// offering lookup / insert / delete. Reader size is controlled by the
+// number of lookups per read critical section; chain length (population /
+// buckets) controls how much memory one lookup touches and therefore
+// whether readers fit HTM capacity.
+//
+// All mutable shared state lives in htm::Shared cells, so the map works
+// identically under transactional writers, SGL writers and uninstrumented
+// readers. Nodes come from a pre-allocated pool with per-thread free lists
+// and bump regions (no allocator contention between concurrent HTM
+// writers, and erased nodes stay valid memory — uninstrumented readers can
+// never chase a dangling pointer).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "common/rng.h"
+#include "htm/line_set.h"
+#include "htm/shared.h"
+
+namespace sprwl::workloads {
+
+class HashMap {
+ public:
+  struct Config {
+    std::uint32_t buckets = 1024;
+    /// Total node pool size; must cover the initial population plus
+    /// per-thread headroom for inserts.
+    std::uint32_t capacity = 1u << 16;
+    int max_threads = 64;
+  };
+
+  explicit HashMap(Config cfg)
+      : cfg_(cfg),
+        heads_(cfg.buckets),
+        pool_(cfg.capacity),
+        alloc_(static_cast<std::size_t>(cfg.max_threads)) {
+    if (cfg.buckets == 0) throw std::invalid_argument("buckets must be > 0");
+    for (auto& h : heads_) h.raw_store(kNull);
+    for (auto& a : alloc_) a.value.free_head.raw_store(kNull);
+    carve_regions(0);  // populate() re-carves what it leaves over
+  }
+
+  /// Single-threaded pre-population with `count` distinct keys drawn from
+  /// [0, key_space). Remaining pool nodes are split evenly into per-thread
+  /// bump regions. Must run before any concurrent use.
+  void populate(std::uint64_t count, std::uint64_t key_space, Rng& rng) {
+    if (count > cfg_.capacity)
+      throw std::invalid_argument("population exceeds pool capacity");
+    std::uint32_t next_node = 0;
+    std::uint64_t inserted = 0;
+    while (inserted < count) {
+      const std::uint64_t key = rng.next_below(key_space);
+      if (raw_contains(key)) continue;
+      const std::uint32_t idx = next_node++;
+      Node& n = pool_[idx];
+      n.key.raw_store(key);
+      n.value.raw_store(key ^ kValueTag);
+      const std::uint32_t b = bucket_of(key);
+      n.next.raw_store(heads_[b].raw_load());
+      heads_[b].raw_store(idx);
+      ++inserted;
+    }
+    carve_regions(next_node);
+  }
+
+  /// Read operation; call inside a read critical section.
+  bool lookup(std::uint64_t key) const {
+    const std::uint32_t b = bucket_of(key);
+    std::uint32_t idx = heads_[b].load();
+    while (idx != kNull) {
+      const Node& n = pool_[idx];
+      if (n.key.load() == key) return true;
+      idx = n.next.load();
+    }
+    return false;
+  }
+
+  /// Insert; call inside a write critical section. Returns false when the
+  /// key already exists (value refreshed) or the caller's pool is empty.
+  bool insert(std::uint64_t key, std::uint64_t value) {
+    const std::uint32_t b = bucket_of(key);
+    std::uint32_t idx = heads_[b].load();
+    while (idx != kNull) {
+      Node& n = pool_[idx];
+      if (n.key.load() == key) {
+        n.value.store(value);
+        return false;
+      }
+      idx = n.next.load();
+    }
+    const std::uint32_t fresh = alloc_node();
+    if (fresh == kNull) return false;  // pool exhausted: drop (bounded map)
+    Node& n = pool_[fresh];
+    n.key.store(key);
+    n.value.store(value);
+    n.next.store(heads_[b].load());
+    heads_[b].store(fresh);
+    return true;
+  }
+
+  /// Erase; call inside a write critical section.
+  bool erase(std::uint64_t key) {
+    const std::uint32_t b = bucket_of(key);
+    std::uint32_t idx = heads_[b].load();
+    std::uint32_t prev = kNull;
+    while (idx != kNull) {
+      Node& n = pool_[idx];
+      if (n.key.load() == key) {
+        const std::uint32_t next = n.next.load();
+        if (prev == kNull) {
+          heads_[b].store(next);
+        } else {
+          pool_[prev].next.store(next);
+        }
+        free_node(idx);
+        return true;
+      }
+      prev = idx;
+      idx = n.next.load();
+    }
+    return false;
+  }
+
+  // --- uninstrumented verification helpers (quiescent state only) ---------
+
+  std::size_t raw_size() const {
+    std::size_t n = 0;
+    for (const auto& h : heads_) {
+      std::uint32_t idx = h.raw_load();
+      while (idx != kNull) {
+        ++n;
+        idx = pool_[idx].next.raw_load();
+      }
+    }
+    return n;
+  }
+
+  bool raw_contains(std::uint64_t key) const {
+    std::uint32_t idx = heads_[bucket_of(key)].raw_load();
+    while (idx != kNull) {
+      if (pool_[idx].key.raw_load() == key) return true;
+      idx = pool_[idx].next.raw_load();
+    }
+    return false;
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  static constexpr std::uint64_t kValueTag = 0x5eed5eed5eed5eedULL;
+
+  struct Node {
+    htm::Shared<std::uint64_t> key;
+    htm::Shared<std::uint64_t> value;
+    htm::Shared<std::uint32_t> next;
+  };
+
+  struct ThreadAlloc {
+    htm::Shared<std::uint32_t> free_head;
+    htm::Shared<std::uint32_t> bump;
+    std::uint32_t bump_end = 0;
+  };
+
+  /// Splits pool nodes [first, capacity) evenly into per-thread bump
+  /// regions so concurrent writers never contend on an allocator.
+  void carve_regions(std::uint32_t first) {
+    const std::uint32_t remaining = cfg_.capacity - first;
+    const std::uint32_t per_thread =
+        remaining / static_cast<std::uint32_t>(alloc_.size());
+    std::uint32_t cursor = first;
+    for (auto& a : alloc_) {
+      a.value.bump.raw_store(cursor);
+      a.value.bump_end = cursor + per_thread;
+      cursor += per_thread;
+    }
+  }
+
+  std::uint32_t bucket_of(std::uint64_t key) const noexcept {
+    return static_cast<std::uint32_t>(htm::detail::mix64(key) % cfg_.buckets);
+  }
+
+  std::uint32_t alloc_node() {
+    auto& a = alloc_[static_cast<std::size_t>(platform::thread_id())].value;
+    const std::uint32_t head = a.free_head.load();
+    if (head != kNull) {
+      a.free_head.store(pool_[head].next.load());
+      return head;
+    }
+    const std::uint32_t b = a.bump.load();
+    if (b < a.bump_end) {
+      a.bump.store(b + 1);
+      return b;
+    }
+    return kNull;
+  }
+
+  void free_node(std::uint32_t idx) {
+    auto& a = alloc_[static_cast<std::size_t>(platform::thread_id())].value;
+    pool_[idx].next.store(a.free_head.load());
+    a.free_head.store(idx);
+  }
+
+  Config cfg_;
+  // Cache-line-aligned so the object-to-line geometry (and with it HTM
+  // footprints) is identical for every run of a given configuration.
+  aligned_vector<htm::Shared<std::uint32_t>> heads_;
+  aligned_vector<Node> pool_;
+  std::vector<CacheLinePadded<ThreadAlloc>> alloc_;
+};
+
+}  // namespace sprwl::workloads

@@ -1,0 +1,81 @@
+#include "bench/support/bench_common.h"
+
+#include <gtest/gtest.h>
+
+namespace sprwl::bench {
+namespace {
+
+TEST(Breakdown, PercentagesFromEngineAndLockStats) {
+  htm::EngineStats es;
+  es.commits_htm = 60;
+  es.aborts_conflict = 10;
+  es.aborts_capacity = 20;
+  es.aborts_explicit = 10;  // of which 6 are reader aborts
+  locks::LockStats ls;
+  ls.reads.unins = 50;
+  ls.writes.htm = 40;
+  ls.writes.gl = 10;
+  const Breakdown b = make_breakdown(es, ls, 6);
+  EXPECT_DOUBLE_EQ(b.abort_rate, 40.0);
+  EXPECT_DOUBLE_EQ(b.ab_conflict, 10.0);
+  EXPECT_DOUBLE_EQ(b.ab_capacity, 20.0);
+  EXPECT_DOUBLE_EQ(b.ab_reader, 6.0);
+  EXPECT_DOUBLE_EQ(b.ab_explicit, 4.0);
+  EXPECT_DOUBLE_EQ(b.commit_htm, 40.0);
+  EXPECT_DOUBLE_EQ(b.commit_gl, 10.0);
+  EXPECT_DOUBLE_EQ(b.commit_unins, 50.0);
+}
+
+TEST(Breakdown, EmptyStatsGiveZeros) {
+  const Breakdown b = make_breakdown(htm::EngineStats{}, locks::LockStats{}, 0);
+  EXPECT_EQ(b.abort_rate, 0.0);
+  EXPECT_EQ(b.commit_htm, 0.0);
+}
+
+TEST(Breakdown, ReaderAbortsNeverExceedExplicit) {
+  htm::EngineStats es;
+  es.commits_htm = 50;
+  es.aborts_explicit = 5;
+  const Breakdown b = make_breakdown(es, locks::LockStats{}, 99);  // stale count
+  EXPECT_LE(b.ab_reader, 100.0 * 5 / 55 + 1e-9);
+  EXPECT_GE(b.ab_explicit, 0.0);
+}
+
+TEST(Machine, SmtCapacitySharingPower8) {
+  const Machine m = power8_machine();
+  EXPECT_EQ(m.capacity_at(1).read_lines, htm::kPower8.read_lines);
+  EXPECT_EQ(m.capacity_at(10).read_lines, htm::kPower8.read_lines);
+  // 80 threads = SMT8; POWER8's dynamic sharing divides by smt/2 = 4.
+  EXPECT_EQ(m.capacity_at(80).read_lines, htm::kPower8.read_lines / 4);
+  EXPECT_GE(m.capacity_at(80).read_lines, 1u);
+}
+
+TEST(Machine, SmtCapacitySharingBroadwell) {
+  const Machine m = broadwell_machine();
+  EXPECT_EQ(m.capacity_at(28).read_lines, htm::kBroadwell.read_lines);
+  // Hyper-threading statically halves the per-thread footprint.
+  EXPECT_EQ(m.capacity_at(56).read_lines, htm::kBroadwell.read_lines / 2);
+  EXPECT_EQ(m.capacity_at(56).write_lines, htm::kBroadwell.write_lines / 2);
+}
+
+TEST(Args, ParsesFlags) {
+  const char* argv[] = {"bench", "--full", "--profile=power8", "--measure=12345",
+                        "--seed=9"};
+  const Args a = Args::parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(a.full);
+  EXPECT_EQ(a.profile, "power8");
+  EXPECT_EQ(a.measure_cycles, 12345u);
+  EXPECT_EQ(a.seed, 9u);
+  EXPECT_TRUE(a.want_profile("power8"));
+  EXPECT_FALSE(a.want_profile("broadwell"));
+}
+
+TEST(Args, BothProfileMatchesEverything) {
+  const char* argv[] = {"bench", "--profile=both"};
+  const Args a = Args::parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(a.want_profile("broadwell"));
+  EXPECT_TRUE(a.want_profile("power8"));
+}
+
+}  // namespace
+}  // namespace sprwl::bench

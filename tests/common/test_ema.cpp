@@ -1,0 +1,58 @@
+#include "common/ema.h"
+
+#include <gtest/gtest.h>
+
+namespace sprwl {
+namespace {
+
+TEST(DurationEma, StartsAtZero) {
+  DurationEma e;
+  EXPECT_EQ(e.estimate(), 0u);
+}
+
+TEST(DurationEma, FirstSampleIsAdoptedDirectly) {
+  DurationEma e;
+  e.record(1000);
+  EXPECT_EQ(e.estimate(), 1000u);
+}
+
+TEST(DurationEma, ConvergesTowardsConstantInput) {
+  DurationEma e(0.125);
+  e.record(100);
+  for (int i = 0; i < 200; ++i) e.record(500);
+  // Integer truncation per step leaves the fixpoint slightly below the
+  // input; what matters for scheduling is the right magnitude.
+  EXPECT_NEAR(static_cast<double>(e.estimate()), 500.0, 10.0);
+}
+
+TEST(DurationEma, TracksShiftFasterWithLargerAlpha) {
+  DurationEma slow(0.05), fast(0.5);
+  slow.record(100);
+  fast.record(100);
+  for (int i = 0; i < 10; ++i) {
+    slow.record(1000);
+    fast.record(1000);
+  }
+  EXPECT_GT(fast.estimate(), slow.estimate());
+}
+
+TEST(DurationEma, ResetClearsEstimate) {
+  DurationEma e;
+  e.record(42);
+  e.reset();
+  EXPECT_EQ(e.estimate(), 0u);
+  e.record(7);
+  EXPECT_EQ(e.estimate(), 7u);
+}
+
+TEST(DurationEma, SmoothsOutliers) {
+  DurationEma e(0.125);
+  for (int i = 0; i < 50; ++i) e.record(1000);
+  e.record(100000);  // one spike
+  // Estimate moves but stays well below the spike.
+  EXPECT_LT(e.estimate(), 15000u);
+  EXPECT_GT(e.estimate(), 1000u);
+}
+
+}  // namespace
+}  // namespace sprwl

@@ -1,0 +1,82 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace sprwl {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+}
+
+TEST(LatencyHistogram, QuantilesBoundedRelativeError) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.record(v);
+  // Log-bucketed: allow ~7% relative error.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0, 50000.0 * 0.08);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.99)), 99000.0, 99000.0 * 0.08);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(60);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_EQ(h.sum(), 90u);
+}
+
+TEST(LatencyHistogram, MergeCombines) {
+  LatencyHistogram a, b;
+  a.record(5);
+  a.record(100);
+  b.record(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_EQ(a.sum(), 1000105u);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyKeepsValues) {
+  LatencyHistogram a, empty;
+  a.record(42);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.max(), 42u);
+}
+
+TEST(LatencyHistogram, HandlesHugeValues) {
+  LatencyHistogram h;
+  h.record(~0ULL);
+  h.record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GE(h.quantile(1.0), (1ULL << 62));
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(7);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+}  // namespace
+}  // namespace sprwl

@@ -1,0 +1,77 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace sprwl {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_LT(r.next_below(1), 1u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.next_in(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, UniformityChiSquareSanity) {
+  Rng r(17);
+  std::array<int, 16> buckets{};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++buckets[r.next_below(16)];
+  // Each bucket expects n/16 = 10000; allow 5% deviation.
+  for (int b : buckets) EXPECT_NEAR(b, 10000, 500);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+}  // namespace
+}  // namespace sprwl

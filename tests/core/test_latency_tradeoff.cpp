@@ -1,0 +1,89 @@
+// Integration check of the paper's headline latency contrast (Section 4.1,
+// Fig. 3 discussion): under long churning readers, SpRWL keeps writer
+// latency orders of magnitude below RW-LE's quiescence-bound writers, at
+// the cost of a (relatively) modest increase in reader latency.
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "core/sprwl.h"
+#include "htm/engine.h"
+#include "locks/rwle.h"
+#include "locks/tle.h"
+#include "sim/simulator.h"
+#include "workloads/driver.h"
+#include "workloads/hashmap.h"
+
+namespace sprwl::core {
+namespace {
+
+workloads::HashMap make_map(int threads) {
+  workloads::HashMap::Config mc;
+  mc.buckets = 64;  // long chains: readers far beyond POWER8 capacity
+  mc.capacity = 8192;
+  mc.max_threads = threads;
+  workloads::HashMap map(mc);
+  Rng rng(3);
+  map.populate(4096, 8192, rng);
+  return map;
+}
+
+workloads::DriverConfig config(int threads) {
+  workloads::DriverConfig dc;
+  dc.threads = threads;
+  dc.update_ratio = 0.10;
+  dc.lookups_per_read = 10;
+  dc.key_space = 8192;
+  dc.warmup_cycles = 200'000;
+  dc.measure_cycles = 4'000'000;
+  dc.seed = 21;
+  return dc;
+}
+
+template <class Lock>
+workloads::RunResult run(Lock& lock, int threads) {
+  htm::EngineConfig ec;
+  ec.capacity = htm::kPower8;
+  ec.max_threads = threads;
+  htm::Engine engine(ec);
+  workloads::HashMap map = make_map(threads);
+  sim::Simulator sim;
+  return run_hashmap(sim, engine, lock, map, config(threads));
+}
+
+TEST(LatencyTradeoff, SpRWLWritersFarBelowRWLEWriters) {
+  constexpr int kThreads = 16;
+  SpRWLock sprwl{Config::variant(SchedulingVariant::kFull, kThreads)};
+  const workloads::RunResult a = run(sprwl, kThreads);
+  locks::RWLELock::Config rc;
+  rc.max_threads = kThreads;
+  locks::RWLELock rwle{rc};
+  const workloads::RunResult b = run(rwle, kThreads);
+
+  ASSERT_GT(a.writes, 50u);
+  ASSERT_GT(b.writes, 50u);
+  // Writer latency: RW-LE pays quiescence against churning long readers;
+  // the paper reports >10x (up to two orders of magnitude).
+  EXPECT_GT(b.write_latency.mean(), a.write_latency.mean() * 5);
+  // Reader latency: SpRWL's reader-sync costs something, but nothing like
+  // the writer gap (the paper reports ~3x-4x at the crossover point).
+  EXPECT_LT(a.read_latency.mean(), b.read_latency.mean() * 20);
+  // And SpRWL's throughput is ahead (Fig. 3 POWER8 beyond ~8 threads).
+  EXPECT_GT(a.throughput_tx_s(), b.throughput_tx_s());
+}
+
+TEST(LatencyTradeoff, SpRWLBeatsTleOnLongReaders) {
+  constexpr int kThreads = 16;
+  SpRWLock sprwl{Config::variant(SchedulingVariant::kFull, kThreads)};
+  const workloads::RunResult a = run(sprwl, kThreads);
+  locks::TLELock::Config tc;
+  tc.max_threads = kThreads;
+  locks::TLELock tle{tc};
+  const workloads::RunResult b = run(tle, kThreads);
+  EXPECT_GT(a.throughput_tx_s(), b.throughput_tx_s() * 2);
+  // TLE's long readers land under the global lock; SpRWL's never do.
+  EXPECT_GT(b.lock_stats.reads.gl, 0u);
+  EXPECT_EQ(a.lock_stats.reads.gl, 0u);
+}
+
+}  // namespace
+}  // namespace sprwl::core

@@ -1,0 +1,246 @@
+// SpRWL scheduling techniques (Section 3.2): reader synchronization
+// (fairness for writers + aligned reader starts) and writer
+// synchronization (delayed retries sized from duration estimates).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/platform.h"
+#include "core/sprwl.h"
+#include "htm/shared.h"
+#include "sim/simulator.h"
+
+namespace sprwl::core {
+namespace {
+
+struct alignas(64) Cell {
+  htm::Shared<std::uint64_t> v;
+};
+
+Config sched_config(SchedulingVariant v, int threads) {
+  Config cfg = Config::variant(v, threads);
+  cfg.reader_htm_first = false;  // exercise the uninstrumented path
+  return cfg;
+}
+
+TEST(SpRWLScheduling, ReaderWaitsForActiveWriter) {
+  // Fairness (Section 3.2.1): a reader arriving after a writer is flagged
+  // must not start before the writer finishes, so the writer is never
+  // aborted by it.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  SpRWLock lock{sched_config(SchedulingVariant::kRWait, 2)};
+  Cell x;
+  std::uint64_t reader_entered_at = 0;
+  std::uint64_t writer_done_at = 0;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {  // writer, long section
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(40000);
+      });
+      writer_done_at = platform::now();
+    } else {  // reader arrives while the writer is active
+      platform::advance(5000);
+      lock.read(0, [&] { reader_entered_at = platform::now(); });
+    }
+  });
+  EXPECT_GE(reader_entered_at, writer_done_at - 1000);
+  EXPECT_EQ(lock.reader_abort_count(), 0u);
+  EXPECT_EQ(lock.stats().writes.htm, 1u);  // never fell back
+}
+
+TEST(SpRWLScheduling, NoSchedReaderDoesNotWait) {
+  // Without reader synchronization the reader starts immediately and the
+  // writer pays a reader abort.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  SpRWLock lock{sched_config(SchedulingVariant::kNoSched, 2)};
+  Cell x;
+  std::uint64_t reader_entered_at = ~0ULL;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(40000);
+      });
+    } else {
+      platform::advance(5000);
+      // Long reader: still active when the writer reaches its commit-time
+      // check, so the writer pays a reader abort.
+      lock.read(0, [&] {
+        reader_entered_at = platform::now();
+        platform::advance(60000);
+      });
+    }
+  });
+  EXPECT_LT(reader_entered_at, 20000u);  // started mid-writer
+  EXPECT_GE(lock.reader_abort_count(), 1u);
+}
+
+TEST(SpRWLScheduling, LateReadersJoinWaitingReader) {
+  // RSync (Alg. 2): while reader A waits for a writer, reader B arriving
+  // later joins A instead of scanning; both start together when the
+  // writer completes — their entry times align.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  SpRWLock lock{sched_config(SchedulingVariant::kRSync, 3)};
+  Cell x;
+  std::vector<std::uint64_t> entered(3, 0);
+  sim::Simulator sim;
+  sim.run(3, [&](int tid) {
+    if (tid == 0) {
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(60000);
+      });
+    } else {
+      platform::advance(tid == 1 ? 5000u : 20000u);
+      lock.read(0, [&] {
+        entered[static_cast<std::size_t>(tid)] = platform::now();
+        platform::advance(10000);
+      });
+    }
+  });
+  // Both readers entered after the writer (>= ~60000) and close together.
+  EXPECT_GE(entered[1], 55000u);
+  EXPECT_GE(entered[2], 55000u);
+  const std::uint64_t gap = entered[1] > entered[2] ? entered[1] - entered[2]
+                                                    : entered[2] - entered[1];
+  EXPECT_LT(gap, 5000u);
+}
+
+TEST(SpRWLScheduling, WriterSyncDelaysRetryUntilReadersDrain) {
+  // Writer synchronization (Alg. 3): after a reader abort the writer
+  // sleeps instead of burning its retry budget, so it still commits in
+  // HTM even with a modest budget and a long reader.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  Config cfg = sched_config(SchedulingVariant::kFull, 2);
+  cfg.max_retries = 10;  // would be exhausted without writer_wait
+  SpRWLock lock{cfg};
+  Cell x;
+  sim::Simulator sim;
+  // Seed the duration EMAs: a few solo sections sampled by thread 0.
+  sim.run(1, [&](int) {
+    for (int i = 0; i < 5; ++i) {
+      lock.read(0, [&] { platform::advance(30000); });
+      lock.write(1, [&] {
+        x.v.store(0);
+        platform::advance(500);
+      });
+    }
+  });
+  sim::Simulator sim2;
+  sim2.run(2, [&](int tid) {
+    if (tid == 0) {
+      lock.read(0, [&] { platform::advance(30000); });
+    } else {
+      platform::advance(100);
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(500);
+      });
+    }
+  });
+  EXPECT_EQ(lock.stats().writes.gl, 0u);
+  EXPECT_EQ(lock.stats().writes.htm, 6u);  // 5 seeding + 1 contended
+  EXPECT_EQ(x.v.raw_load(), 1u);
+}
+
+TEST(SpRWLScheduling, BudgetExhaustionWithoutWriterSyncFallsBack) {
+  // Same scenario as above but with writer_sync off: the writer burns its
+  // 10 attempts against the 30000-cycle reader and lands in the SGL.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  Config cfg = sched_config(SchedulingVariant::kRSync, 2);
+  cfg.max_retries = 10;
+  SpRWLock lock{cfg};
+  Cell x;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      lock.read(0, [&] { platform::advance(30000); });
+    } else {
+      platform::advance(100);
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(500);
+      });
+    }
+  });
+  EXPECT_EQ(lock.stats().writes.gl, 1u);
+  EXPECT_EQ(x.v.raw_load(), 1u);
+}
+
+TEST(SpRWLScheduling, ClockAdvertisementUsesEstimates) {
+  // After sampling, a reader waiting for a writer should wake close to
+  // the writer's real end time rather than spinning from the start: the
+  // reader's entry time tracks the writer duration, not a fixed poll.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  Config cfg = sched_config(SchedulingVariant::kFull, 2);
+  SpRWLock lock{cfg};
+  Cell x;
+  // Seed write EMA with 20000-cycle sections.
+  sim::Simulator seed;
+  seed.run(1, [&](int) {
+    for (int i = 0; i < 8; ++i) {
+      lock.write(1, [&] {
+        x.v.store(1);
+        platform::advance(20000);
+      });
+    }
+  });
+  std::uint64_t reader_entered = 0;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      lock.write(1, [&] {
+        x.v.store(2);
+        platform::advance(20000);
+      });
+    } else {
+      platform::advance(1000);
+      lock.read(0, [&] { reader_entered = platform::now(); });
+    }
+  });
+  EXPECT_GE(reader_entered, 20000u);
+  EXPECT_LT(reader_entered, 40000u);  // woke near the estimate, not late
+}
+
+TEST(SpRWLScheduling, WritersNotStarvedByReaderStream) {
+  // A continuous stream of readers: with full scheduling the writer keeps
+  // committing (fairness), i.e. completes many sections well before the
+  // run ends.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  Config cfg = sched_config(SchedulingVariant::kFull, 5);
+  SpRWLock lock{cfg};
+  Cell x;
+  int writes_done = 0;
+  sim::Simulator sim;
+  sim.run(5, [&](int tid) {
+    if (tid == 0) {
+      for (int i = 0; i < 20; ++i) {
+        lock.write(1, [&] {
+          x.v.store(static_cast<std::uint64_t>(i));
+          platform::advance(500);
+        });
+        ++writes_done;
+        platform::advance(200);
+      }
+    } else {
+      for (int i = 0; i < 40; ++i) {
+        lock.read(0, [&] { platform::advance(4000); });
+        platform::advance(100);
+      }
+    }
+  });
+  EXPECT_EQ(writes_done, 20);
+}
+
+}  // namespace
+}  // namespace sprwl::core

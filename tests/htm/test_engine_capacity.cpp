@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/platform.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+
+namespace sprwl::htm {
+namespace {
+
+// A block of cells spread one per cache line so that each access consumes
+// one line of HTM footprint.
+struct LineArray {
+  explicit LineArray(std::size_t n) : cells(n) {}
+  struct alignas(64) Cell {
+    Shared<std::uint64_t> v;
+  };
+  std::vector<Cell> cells;
+};
+
+class EngineCapacity : public ::testing::Test {
+ protected:
+  static EngineConfig config(std::uint32_t read_lines, std::uint32_t write_lines) {
+    EngineConfig cfg;
+    cfg.capacity = CapacityProfile{"test", read_lines, write_lines};
+    return cfg;
+  }
+  ThreadIdScope tid_{0};
+};
+
+TEST_F(EngineCapacity, ReadFootprintWithinLimitCommits) {
+  Engine engine(config(64, 64));
+  EngineScope scope(engine);
+  LineArray arr(64);
+  const TxStatus st = engine.try_transaction([&] {
+    for (auto& c : arr.cells) (void)c.v.load();
+  });
+  EXPECT_TRUE(st.committed());
+}
+
+TEST_F(EngineCapacity, ReadFootprintBeyondLimitAborts) {
+  Engine engine(config(64, 64));
+  EngineScope scope(engine);
+  LineArray arr(65);
+  const TxStatus st = engine.try_transaction([&] {
+    for (auto& c : arr.cells) (void)c.v.load();
+  });
+  EXPECT_FALSE(st.committed());
+  EXPECT_EQ(st.cause, AbortCause::kCapacity);
+  EXPECT_EQ(engine.stats().aborts_capacity, 1u);
+}
+
+TEST_F(EngineCapacity, WriteFootprintBeyondLimitAborts) {
+  Engine engine(config(1024, 16));
+  EngineScope scope(engine);
+  LineArray arr(17);
+  const TxStatus st = engine.try_transaction([&] {
+    for (auto& c : arr.cells) c.v.store(1);
+  });
+  EXPECT_FALSE(st.committed());
+  EXPECT_EQ(st.cause, AbortCause::kCapacity);
+  // Nothing was published.
+  for (auto& c : arr.cells) EXPECT_EQ(c.v.raw_load(), 0u);
+}
+
+TEST_F(EngineCapacity, RepeatedAccessToSameLineCostsOneSlot) {
+  Engine engine(config(2, 2));
+  EngineScope scope(engine);
+  LineArray arr(1);
+  const TxStatus st = engine.try_transaction([&] {
+    for (int i = 0; i < 100; ++i) (void)arr.cells[0].v.load();
+    for (int i = 0; i < 100; ++i) arr.cells[0].v.store(static_cast<std::uint64_t>(i));
+  });
+  EXPECT_TRUE(st.committed());
+  EXPECT_EQ(arr.cells[0].v.raw_load(), 99u);
+}
+
+TEST_F(EngineCapacity, RotHasNoReadLimitButKeepsWriteLimit) {
+  Engine engine(config(4, 4));
+  EngineScope scope(engine);
+  LineArray arr(64);
+  // Reads unbounded in a ROT (no read tracking)...
+  TxStatus st = engine.try_rot([&] {
+    for (auto& c : arr.cells) (void)c.v.load();
+  });
+  EXPECT_TRUE(st.committed());
+  // ...but the write buffer is still finite.
+  st = engine.try_rot([&] {
+    for (auto& c : arr.cells) c.v.store(1);
+  });
+  EXPECT_FALSE(st.committed());
+  EXPECT_EQ(st.cause, AbortCause::kCapacity);
+}
+
+TEST_F(EngineCapacity, BroadwellProfileShape) {
+  // The Broadwell profile must let "writer-sized" sections (hundreds of
+  // lines) commit while "10-lookup reader" sections (thousands) abort —
+  // the regime of the paper's Fig. 3.
+  Engine engine(EngineConfig{});  // default = Broadwell
+  EngineScope scope(engine);
+  LineArray small(300), big(2000);
+  EXPECT_TRUE(engine
+                  .try_transaction([&] {
+                    for (auto& c : small.cells) (void)c.v.load();
+                  })
+                  .committed());
+  const TxStatus st = engine.try_transaction([&] {
+    for (auto& c : big.cells) (void)c.v.load();
+  });
+  EXPECT_EQ(st.cause, AbortCause::kCapacity);
+}
+
+TEST_F(EngineCapacity, Power8ProfileIsSymmetricAndSmall) {
+  EngineConfig cfg;
+  cfg.capacity = kPower8;
+  Engine engine(cfg);
+  EngineScope scope(engine);
+  LineArray arr(129);
+  TxStatus st = engine.try_transaction([&] {
+    for (auto& c : arr.cells) (void)c.v.load();
+  });
+  EXPECT_EQ(st.cause, AbortCause::kCapacity);
+  st = engine.try_transaction([&] {
+    for (std::size_t i = 0; i < 128; ++i) (void)arr.cells[i].v.load();
+  });
+  EXPECT_TRUE(st.committed());
+}
+
+TEST_F(EngineCapacity, UnboundedProfileNeverCapacityAborts) {
+  EngineConfig cfg;
+  cfg.capacity = kUnbounded;
+  Engine engine(cfg);
+  EngineScope scope(engine);
+  LineArray arr(5000);
+  const TxStatus st = engine.try_transaction([&] {
+    for (auto& c : arr.cells) c.v.store(7);
+  });
+  EXPECT_TRUE(st.committed());
+}
+
+TEST_F(EngineCapacity, TinyLockTableAliasesLinesConservatively) {
+  // With a tiny version table, distinct addresses alias into the same
+  // slot. Aliasing may cause spurious conflicts but never lost updates.
+  EngineConfig cfg;
+  cfg.table_bits = 4;
+  Engine engine(cfg);
+  EngineScope scope(engine);
+  LineArray arr(64);
+  int committed = 0;
+  for (int round = 0; round < 10; ++round) {
+    const TxStatus st = engine.try_transaction([&] {
+      for (auto& c : arr.cells) c.v.store(c.v.load() + 1);
+    });
+    committed += st.committed();
+  }
+  for (auto& c : arr.cells) {
+    EXPECT_EQ(c.v.raw_load(), static_cast<std::uint64_t>(committed));
+  }
+}
+
+}  // namespace
+}  // namespace sprwl::htm

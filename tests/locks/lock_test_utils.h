@@ -1,0 +1,66 @@
+// Shared helpers for the lock test suites: uniform construction of every
+// lock type in the library, so safety properties can be checked with typed
+// test suites across the whole family.
+#pragma once
+
+#include <memory>
+
+#include "core/sprwl.h"
+#include "locks/brlock.h"
+#include "locks/mcs_rwlock.h"
+#include "locks/passive_rwlock.h"
+#include "locks/phase_fair.h"
+#include "locks/posix_rwlock.h"
+#include "locks/rwle.h"
+#include "locks/tle.h"
+
+namespace sprwl::testutil {
+
+template <class Lock>
+std::unique_ptr<Lock> make_lock(int max_threads);
+
+template <>
+inline std::unique_ptr<locks::PosixRWLock> make_lock(int max_threads) {
+  return std::make_unique<locks::PosixRWLock>(max_threads);
+}
+template <>
+inline std::unique_ptr<locks::BRLock> make_lock(int max_threads) {
+  return std::make_unique<locks::BRLock>(max_threads);
+}
+template <>
+inline std::unique_ptr<locks::PhaseFairRWLock> make_lock(int max_threads) {
+  return std::make_unique<locks::PhaseFairRWLock>(max_threads);
+}
+template <>
+inline std::unique_ptr<locks::PassiveRWLock> make_lock(int max_threads) {
+  return std::make_unique<locks::PassiveRWLock>(max_threads);
+}
+template <>
+inline std::unique_ptr<locks::McsRWLock> make_lock(int max_threads) {
+  return std::make_unique<locks::McsRWLock>(max_threads);
+}
+template <>
+inline std::unique_ptr<locks::TLELock> make_lock(int max_threads) {
+  locks::TLELock::Config cfg;
+  cfg.max_threads = max_threads;
+  return std::make_unique<locks::TLELock>(cfg);
+}
+template <>
+inline std::unique_ptr<locks::RWLELock> make_lock(int max_threads) {
+  locks::RWLELock::Config cfg;
+  cfg.max_threads = max_threads;
+  return std::make_unique<locks::RWLELock>(cfg);
+}
+template <>
+inline std::unique_ptr<core::SpRWLock> make_lock(int max_threads) {
+  core::Config cfg;
+  cfg.max_threads = max_threads;
+  return std::make_unique<core::SpRWLock>(cfg);
+}
+
+using AllLockTypes =
+    ::testing::Types<locks::PosixRWLock, locks::BRLock, locks::PhaseFairRWLock,
+                     locks::PassiveRWLock, locks::McsRWLock, locks::TLELock,
+                     locks::RWLELock, core::SpRWLock>;
+
+}  // namespace sprwl::testutil

@@ -1,0 +1,61 @@
+// BRLock's defining asymmetry, measured in virtual time: read cost is
+// independent of the thread count (one private mutex), write cost grows
+// linearly with it (acquire them all).
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "locks/brlock.h"
+#include "sim/simulator.h"
+
+namespace sprwl::locks {
+namespace {
+
+std::uint64_t solo_read_cost(int max_threads) {
+  BRLock lock{max_threads};
+  std::uint64_t cost = 0;
+  sim::Simulator sim;
+  sim.run(1, [&](int) {
+    const std::uint64_t t0 = platform::now();
+    lock.read(0, [] {});
+    cost = platform::now() - t0;
+  });
+  return cost;
+}
+
+std::uint64_t solo_write_cost(int max_threads) {
+  BRLock lock{max_threads};
+  std::uint64_t cost = 0;
+  sim::Simulator sim;
+  sim.run(1, [&](int) {
+    const std::uint64_t t0 = platform::now();
+    lock.write(1, [] {});
+    cost = platform::now() - t0;
+  });
+  return cost;
+}
+
+TEST(BRLockScaling, ReadCostIndependentOfThreadCount) {
+  EXPECT_EQ(solo_read_cost(2), solo_read_cost(64));
+}
+
+TEST(BRLockScaling, WriteCostLinearInThreadCount) {
+  const std::uint64_t w2 = solo_write_cost(2);
+  const std::uint64_t w64 = solo_write_cost(64);
+  // 64 per-thread mutexes instead of 2: roughly 32x the lock traffic.
+  EXPECT_GT(w64, w2 * 8);
+  EXPECT_LT(w64, w2 * 64);
+}
+
+TEST(BRLockScaling, ReadersUndisturbedByOtherReaders) {
+  // 16 concurrent readers finish in ~one section of virtual time.
+  BRLock lock{16};
+  sim::Simulator sim;
+  constexpr std::uint64_t kSection = 50'000;
+  sim.run(16, [&](int) {
+    lock.read(0, [&] { platform::advance(kSection); });
+  });
+  EXPECT_LT(sim.final_time(), kSection + kSection / 2);
+}
+
+}  // namespace
+}  // namespace sprwl::locks

@@ -1,0 +1,95 @@
+#include "locks/sgl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "htm/engine.h"
+#include "sim/simulator.h"
+
+namespace sprwl::locks {
+namespace {
+
+TEST(SglLock, BasicLockUnlock) {
+  ThreadIdScope tid(0);
+  SglLock gl;
+  EXPECT_FALSE(gl.is_locked());
+  EXPECT_EQ(gl.version(), 0u);
+  gl.lock();
+  EXPECT_TRUE(gl.is_locked());
+  gl.unlock();
+  EXPECT_FALSE(gl.is_locked());
+  EXPECT_EQ(gl.version(), 1u);  // one full acquire/release cycle
+}
+
+TEST(SglLock, TryLock) {
+  ThreadIdScope tid(0);
+  SglLock gl;
+  EXPECT_TRUE(gl.try_lock());
+  EXPECT_FALSE(gl.try_lock());
+  gl.unlock();
+  EXPECT_TRUE(gl.try_lock());
+  gl.unlock();
+  EXPECT_EQ(gl.version(), 2u);
+}
+
+TEST(SglLock, VersionCountsAcquisitions) {
+  ThreadIdScope tid(0);
+  SglLock gl;
+  for (int i = 0; i < 10; ++i) {
+    gl.lock();
+    gl.unlock();
+  }
+  EXPECT_EQ(gl.version(), 10u);
+}
+
+TEST(SglLock, MutualExclusionUnderFibers) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  SglLock gl;
+  int inside = 0;
+  int max_inside = 0;
+  sim::Simulator sim;
+  sim.run(8, [&](int) {
+    for (int i = 0; i < 50; ++i) {
+      gl.lock();
+      max_inside = std::max(max_inside, ++inside);
+      platform::advance(100);
+      --inside;
+      gl.unlock();
+      platform::advance(50);
+    }
+  });
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(gl.version(), 400u);
+}
+
+TEST(SglLock, SubscriptionAbortsTransactionOnAcquire) {
+  // A transaction that subscribed (read is_locked()) must fail its commit
+  // if the lock was acquired afterwards — the TLE safety property.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  SglLock gl;
+  htm::Shared<std::uint64_t> data;
+  sim::Simulator sim;
+  htm::TxStatus status;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      status = engine.try_transaction([&] {
+        if (gl.is_locked()) engine.abort_tx(1);
+        data.store(42);
+        platform::advance(10000);
+      });
+    } else {
+      platform::advance(2000);
+      gl.lock();
+      platform::advance(100);
+      gl.unlock();
+    }
+  });
+  EXPECT_FALSE(status.committed());
+  EXPECT_EQ(status.cause, htm::AbortCause::kConflict);
+  EXPECT_EQ(data.raw_load(), 0u);
+}
+
+}  // namespace
+}  // namespace sprwl::locks

@@ -1,0 +1,223 @@
+#include "structures/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "core/sprwl.h"
+#include "htm/engine.h"
+#include "sim/simulator.h"
+
+namespace sprwl::structures {
+namespace {
+
+BTree::Config small_config() {
+  BTree::Config cfg;
+  cfg.capacity = 1 << 14;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+TEST(BTree, EmptyTree) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.raw_size(), 0u);
+  EXPECT_EQ(t.range_count(0, ~0ULL), 0u);
+  EXPECT_TRUE(t.raw_validate());
+}
+
+TEST(BTree, InsertLookupUpdate) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  EXPECT_TRUE(t.insert(42, 100));
+  EXPECT_TRUE(t.contains(42));
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(42, v));
+  EXPECT_EQ(v, 100u);
+  EXPECT_FALSE(t.insert(42, 200));  // update, not insert
+  EXPECT_TRUE(t.lookup(42, v));
+  EXPECT_EQ(v, 200u);
+  EXPECT_EQ(t.raw_size(), 1u);
+}
+
+TEST(BTree, EraseSemantics) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  t.insert(1, 1);
+  t.insert(2, 2);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_EQ(t.raw_size(), 1u);
+  EXPECT_TRUE(t.raw_validate());
+}
+
+TEST(BTree, SplitsKeepOrderAscendingInsert) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  for (std::uint64_t k = 1; k <= 1000; ++k) EXPECT_TRUE(t.insert(k, k * 2));
+  EXPECT_EQ(t.raw_size(), 1000u);
+  EXPECT_TRUE(t.raw_validate());
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(t.lookup(k, v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_FALSE(t.contains(1001));
+}
+
+TEST(BTree, SplitsKeepOrderDescendingInsert) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  for (std::uint64_t k = 1000; k >= 1; --k) EXPECT_TRUE(t.insert(k, k));
+  EXPECT_EQ(t.raw_size(), 1000u);
+  EXPECT_TRUE(t.raw_validate());
+  for (std::uint64_t k = 1; k <= 1000; ++k) EXPECT_TRUE(t.contains(k));
+}
+
+TEST(BTree, RangeCountMatchesReference) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  std::set<std::uint64_t> ref;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.next_below(10000);
+    t.insert(k, k);
+    ref.insert(k);
+  }
+  ASSERT_TRUE(t.raw_validate());
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t lo = rng.next_below(10000);
+    std::uint64_t hi = lo + rng.next_below(3000);
+    const auto expect = static_cast<std::uint64_t>(
+        std::distance(ref.lower_bound(lo), ref.upper_bound(hi)));
+    EXPECT_EQ(t.range_count(lo, hi), expect) << "[" << lo << "," << hi << "]";
+  }
+  EXPECT_EQ(t.range_count(0, ~0ULL), ref.size());
+}
+
+TEST(BTree, MatchesReferenceUnderRandomMixedOps) {
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  std::set<std::uint64_t> ref;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.next_below(2000);
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(t.insert(k, k), ref.insert(k).second);
+        break;
+      case 1:
+        EXPECT_EQ(t.erase(k), ref.erase(k) > 0);
+        break;
+      default:
+        EXPECT_EQ(t.contains(k), ref.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(t.raw_size(), ref.size());
+  EXPECT_TRUE(t.raw_validate());
+}
+
+TEST(BTree, PoolExhaustionDropsInsertsButStaysConsistent) {
+  ThreadIdScope tid(0);
+  BTree::Config cfg;
+  cfg.capacity = 64;  // tiny pool
+  cfg.max_threads = 1;
+  BTree t(cfg);
+  std::set<std::uint64_t> ref;
+  for (std::uint64_t k = 0; k < 5000; ++k) {
+    if (t.insert(k * 37 % 4096, k)) ref.insert(k * 37 % 4096);
+  }
+  EXPECT_TRUE(t.raw_validate());
+  // Everything reported inserted must be findable.
+  for (const std::uint64_t k : ref) EXPECT_TRUE(t.contains(k));
+}
+
+TEST(BTree, DeepTreeIntegrity) {
+  ThreadIdScope tid(0);
+  BTree::Config cfg;
+  cfg.capacity = 1 << 15;
+  cfg.max_threads = 1;
+  BTree t(cfg);
+  Rng rng(3);
+  std::set<std::uint64_t> ref;
+  for (int i = 0; i < 60000; ++i) {
+    const std::uint64_t k = rng.next();
+    t.insert(k, k ^ 1);
+    ref.insert(k);
+  }
+  EXPECT_EQ(t.raw_size(), ref.size());
+  EXPECT_TRUE(t.raw_validate());
+}
+
+TEST(BTree, TransactionalWritersAtomicUnderAbort) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  ThreadIdScope tid(0);
+  BTree t(small_config());
+  // An aborted transaction's inserts (including node splits!) must vanish.
+  const htm::TxStatus st = engine.try_transaction([&] {
+    for (std::uint64_t k = 0; k < 50; ++k) t.insert(k, k);
+    engine.abort_tx(7);
+  });
+  EXPECT_FALSE(st.committed());
+  EXPECT_EQ(t.raw_size(), 0u);
+  EXPECT_TRUE(t.raw_validate());
+  // And a committed one persists.
+  engine.try_transaction([&] {
+    for (std::uint64_t k = 0; k < 50; ++k) t.insert(k, k);
+  });
+  EXPECT_EQ(t.raw_size(), 50u);
+}
+
+TEST(BTree, ConcurrentUseUnderSpRWL) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  BTree t(small_config());
+  {
+    ThreadIdScope tid(0);
+    for (std::uint64_t k = 0; k < 4096; k += 2) t.insert(k, k);  // evens
+  }
+  core::SpRWLock lock{core::Config::variant(core::SchedulingVariant::kFull, 8)};
+  std::uint64_t bad_ranges = 0;
+  sim::Simulator sim;
+  sim.run(8, [&](int tid) {
+    Rng rng(static_cast<std::uint64_t>(tid) * 3 + 1);
+    for (int i = 0; i < 60; ++i) {
+      if (rng.next_bool(0.3)) {
+        // Writers insert/erase PAIRS of odd keys, preserving the evenness
+        // invariant of counts over aligned ranges of width 512:
+        // each aligned range holds 256 evens plus 0 or 2 odds per pair.
+        const std::uint64_t base = rng.next_below(8) * 512;
+        const std::uint64_t k1 = base + 2 * rng.next_below(256) + 1;
+        const std::uint64_t k2 = k1 ^ 2;  // same 512-range, also odd
+        const bool add = rng.next_bool(0.5);
+        lock.write(1, [&] {
+          if (add) {
+            t.insert(k1, 1);
+            t.insert(k2, 1);
+          } else {
+            t.erase(k1);
+            t.erase(k2);
+          }
+        });
+      } else {
+        const std::uint64_t base = rng.next_below(8) * 512;
+        lock.read(0, [&] {
+          const std::uint64_t n = t.range_count(base, base + 511);
+          if (n % 2 != 0) ++bad_ranges;  // 256 evens + even # of odds
+        });
+      }
+    }
+  });
+  EXPECT_EQ(bad_ranges, 0u);
+  EXPECT_TRUE(t.raw_validate());
+}
+
+}  // namespace
+}  // namespace sprwl::structures

@@ -1,0 +1,93 @@
+// B+-tree boundary behaviour: degenerate ranges, extreme keys, duplicate
+// churn at node boundaries.
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "structures/btree.h"
+
+namespace sprwl::structures {
+namespace {
+
+BTree::Config cfg() {
+  BTree::Config c;
+  c.capacity = 1 << 13;
+  c.max_threads = 1;
+  return c;
+}
+
+TEST(BTreeEdges, DegenerateRanges) {
+  ThreadIdScope tid(0);
+  BTree t(cfg());
+  for (std::uint64_t k = 10; k <= 100; k += 10) t.insert(k, k);
+  EXPECT_EQ(t.range_count(50, 50), 1u);   // point range, present
+  EXPECT_EQ(t.range_count(51, 51), 0u);   // point range, absent
+  EXPECT_EQ(t.range_count(60, 40), 0u);   // inverted range is empty
+  EXPECT_EQ(t.range_count(0, 9), 0u);     // below the minimum
+  EXPECT_EQ(t.range_count(101, ~0ULL), 0u);  // above the maximum
+  EXPECT_EQ(t.range_count(10, 100), 10u);
+}
+
+TEST(BTreeEdges, ExtremeKeys) {
+  ThreadIdScope tid(0);
+  BTree t(cfg());
+  EXPECT_TRUE(t.insert(0, 1));
+  EXPECT_TRUE(t.insert(~0ULL, 2));
+  EXPECT_TRUE(t.contains(0));
+  EXPECT_TRUE(t.contains(~0ULL));
+  EXPECT_EQ(t.range_count(0, ~0ULL), 2u);
+  std::uint64_t v = 0;
+  EXPECT_TRUE(t.lookup(~0ULL, v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(BTreeEdges, ChurnAtSplitBoundaries) {
+  // Insert/erase around the fanout boundary repeatedly: leaves split, then
+  // empty out (no rebalancing) and refill; invariants must survive.
+  ThreadIdScope tid(0);
+  BTree t(cfg());
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) t.insert(k, round);
+    ASSERT_TRUE(t.raw_validate());
+    for (std::uint64_t k = 0; k < 64; k += 2) t.erase(k);
+    ASSERT_TRUE(t.raw_validate());
+    EXPECT_EQ(t.raw_size(), 32u);
+    for (std::uint64_t k = 0; k < 64; k += 2) t.insert(k, round);
+    for (std::uint64_t k = 0; k < 64; ++k) t.erase(k);
+    EXPECT_EQ(t.raw_size(), 0u);
+  }
+}
+
+TEST(BTreeEdges, ValuesSurviveSplits) {
+  ThreadIdScope tid(0);
+  BTree t(cfg());
+  Rng rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng.next();
+    keys.push_back(k);
+    t.insert(k, k ^ 0xABCD);
+  }
+  for (const std::uint64_t k : keys) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(t.lookup(k, v));
+    EXPECT_EQ(v, k ^ 0xABCD);
+  }
+}
+
+TEST(BTreeEdges, RangeCountAfterHeavyErase) {
+  ThreadIdScope tid(0);
+  BTree t(cfg());
+  for (std::uint64_t k = 0; k < 1000; ++k) t.insert(k, k);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    if (k % 3 != 0) t.erase(k);
+  }
+  // Remaining: multiples of 3 in [0, 999] -> 334.
+  EXPECT_EQ(t.range_count(0, 999), 334u);
+  EXPECT_EQ(t.range_count(300, 600), 101u);  // 300,303,...,600
+  EXPECT_TRUE(t.raw_validate());
+}
+
+}  // namespace
+}  // namespace sprwl::structures

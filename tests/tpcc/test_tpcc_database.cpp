@@ -1,0 +1,210 @@
+// TPC-C database: population conformance, single-threaded transaction
+// semantics and the clause 3.3.2 consistency conditions.
+#include "tpcc/tpcc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "common/rng.h"
+
+namespace sprwl::tpcc {
+namespace {
+
+Scale tiny_scale() {
+  Scale s;
+  s.warehouses = 2;
+  s.districts_per_warehouse = 4;
+  s.customers_per_district = 60;
+  s.items = 500;
+  s.order_ring = 64;
+  s.max_threads = 4;
+  s.history_per_thread = 1024;
+  return s;
+}
+
+class TpccDb : public ::testing::Test {
+ protected:
+  TpccDb() : db_(tiny_scale()), tid_(0) { db_.populate(); }
+  Database db_;
+  ThreadIdScope tid_;
+  Rng rng_{42};
+};
+
+TEST_F(TpccDb, PopulationSatisfiesConsistencyConditions) {
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_TRUE(db_.check_next_order_id());
+  EXPECT_TRUE(db_.check_new_order_queue());
+  EXPECT_TRUE(db_.check_order_line_counts());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, RejectsBadScale) {
+  Scale s = tiny_scale();
+  s.order_ring = 100;  // not a power of two
+  EXPECT_THROW(Database{s}, std::invalid_argument);
+  Scale s2 = tiny_scale();
+  s2.warehouses = 0;
+  EXPECT_THROW(Database{s2}, std::invalid_argument);
+}
+
+TEST_F(TpccDb, NewOrderAdvancesOrderIdAndChargesStock) {
+  NewOrderInput in = db_.make_new_order_input(rng_, 1);
+  in.rollback = false;
+  const NewOrderResult r = db_.new_order(in);
+  EXPECT_TRUE(r.committed);
+  EXPECT_GT(r.total_cents, 0);
+  EXPECT_EQ(r.o_id, static_cast<std::uint32_t>(tiny_scale().customers_per_district) + 1);
+  EXPECT_TRUE(db_.check_next_order_id());
+  EXPECT_TRUE(db_.check_new_order_queue());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+
+  // A subsequent Order-Status for the same customer sees the new order.
+  OrderStatusInput os{};
+  os.w_id = in.w_id;
+  os.d_id = in.d_id;
+  os.by_last_name = false;
+  os.c_id = in.c_id;
+  const OrderStatusResult st = db_.order_status(os);
+  EXPECT_EQ(st.o_id, r.o_id);
+  EXPECT_EQ(st.carrier_id, 0u);  // not delivered yet
+  EXPECT_EQ(st.lines, in.ol_cnt);
+}
+
+TEST_F(TpccDb, NewOrderRollbackLeavesNoTrace) {
+  NewOrderInput in = db_.make_new_order_input(rng_, 1);
+  in.rollback = true;
+  const NewOrderResult r = db_.new_order(in);
+  EXPECT_FALSE(r.committed);
+  EXPECT_TRUE(db_.check_next_order_id());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, PaymentMovesMoneyConsistently) {
+  PaymentInput in = db_.make_payment_input(rng_, 2);
+  in.by_last_name = false;
+  const PaymentResult r = db_.payment(in);
+  EXPECT_EQ(r.c_id, in.c_id);
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, PaymentByLastNamePicksMedianCustomer) {
+  // Run many by-name payments; every one must resolve to a valid customer
+  // and keep the money invariants.
+  for (int i = 0; i < 50; ++i) {
+    PaymentInput in = db_.make_payment_input(rng_, 1);
+    in.by_last_name = true;
+    const PaymentResult r = db_.payment(in);
+    EXPECT_GE(r.c_id, 1);
+    EXPECT_LE(r.c_id, tiny_scale().customers_per_district);
+  }
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, DeliveryDrainsTheNewOrderQueue) {
+  DeliveryInput in = db_.make_delivery_input(rng_, 1);
+  const DeliveryResult r = db_.delivery(in);
+  // Population leaves 30% of orders undelivered in every district.
+  EXPECT_EQ(r.delivered, tiny_scale().districts_per_warehouse);
+  EXPECT_TRUE(db_.check_new_order_queue());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+
+  // Keep delivering until all queues drain.
+  int guard = 0;
+  while (db_.delivery(db_.make_delivery_input(rng_, 1)).delivered > 0) {
+    ASSERT_LT(++guard, 1000);
+  }
+  EXPECT_TRUE(db_.check_new_order_queue());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, DeliveryUpdatesCustomerBalance) {
+  // Issue a fresh order, deliver it, and check the customer received the
+  // order-line amounts.
+  NewOrderInput in = db_.make_new_order_input(rng_, 1);
+  in.rollback = false;
+  in.d_id = 1;
+  // Drain district 1's queue first so our order is next.
+  while (true) {
+    DeliveryInput din = db_.make_delivery_input(rng_, 1);
+    if (db_.delivery(din).delivered == 0) break;
+  }
+  const NewOrderResult no = db_.new_order(in);
+  ASSERT_TRUE(no.committed);
+  OrderStatusInput os{};
+  os.w_id = 1;
+  os.d_id = in.d_id;
+  os.c_id = in.c_id;
+  const std::int64_t before = db_.order_status(os).balance_cents;
+  DeliveryInput din = db_.make_delivery_input(rng_, 1);
+  const DeliveryResult dr = db_.delivery(din);
+  EXPECT_GE(dr.delivered, 1);
+  const std::int64_t after = db_.order_status(os).balance_cents;
+  EXPECT_GT(after, before);  // order-line amounts credited
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDb, StockLevelScansTheLastTwentyOrders) {
+  StockLevelInput in = db_.make_stock_level_input(rng_, 1);
+  const StockLevelResult r = db_.stock_level(in);
+  EXPECT_GT(r.scanned_lines, 20 * 5 / 2);  // ~20 orders * >=5 lines
+  EXPECT_GE(r.low_stock, 0);
+  EXPECT_LE(r.low_stock, r.scanned_lines);
+}
+
+TEST_F(TpccDb, StockLevelThresholdIsMonotonic) {
+  StockLevelInput lo = db_.make_stock_level_input(rng_, 1);
+  lo.d_id = 1;
+  StockLevelInput hi = lo;
+  lo.threshold = 10;
+  hi.threshold = 200;  // everything is below 200
+  EXPECT_LE(db_.stock_level(lo).low_stock, db_.stock_level(hi).low_stock);
+}
+
+TEST_F(TpccDb, MixedSingleThreadedRunKeepsAllInvariants) {
+  for (int i = 0; i < 400; ++i) {
+    const double u = rng_.next_double();
+    const int w = 1 + static_cast<int>(rng_.next_below(2));
+    if (u < 0.31) {
+      db_.stock_level(db_.make_stock_level_input(rng_, w));
+    } else if (u < 0.35) {
+      db_.order_status(db_.make_order_status_input(rng_, w));
+    } else if (u < 0.39) {
+      db_.delivery(db_.make_delivery_input(rng_, w));
+    } else if (u < 0.82) {
+      db_.payment(db_.make_payment_input(rng_, w));
+    } else {
+      db_.new_order(db_.make_new_order_input(rng_, w));
+    }
+  }
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_TRUE(db_.check_next_order_id());
+  EXPECT_TRUE(db_.check_new_order_queue());
+  EXPECT_TRUE(db_.check_order_line_counts());
+}
+
+TEST_F(TpccDb, InputGeneratorsRespectBounds) {
+  for (int i = 0; i < 2000; ++i) {
+    const NewOrderInput no = db_.make_new_order_input(rng_, 1);
+    EXPECT_EQ(no.w_id, 1);
+    EXPECT_GE(no.d_id, 1);
+    EXPECT_LE(no.d_id, 4);
+    EXPECT_GE(no.c_id, 1);
+    EXPECT_LE(no.c_id, 60);
+    EXPECT_GE(no.ol_cnt, 5);
+    EXPECT_LE(no.ol_cnt, kMaxOrderLines);
+    for (int l = 0; l < no.ol_cnt; ++l) {
+      EXPECT_GE(no.lines[static_cast<std::size_t>(l)].i_id, 1);
+      EXPECT_LE(no.lines[static_cast<std::size_t>(l)].i_id, 500);
+      EXPECT_GE(no.lines[static_cast<std::size_t>(l)].supply_w_id, 1);
+      EXPECT_LE(no.lines[static_cast<std::size_t>(l)].supply_w_id, 2);
+    }
+    const PaymentInput p = db_.make_payment_input(rng_, 2);
+    EXPECT_GE(p.amount_cents, 100);
+    EXPECT_LE(p.amount_cents, 500000);
+  }
+}
+
+}  // namespace
+}  // namespace sprwl::tpcc

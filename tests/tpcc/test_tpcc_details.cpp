@@ -1,0 +1,187 @@
+// Clause-level details of the TPC-C transactions that the coarse
+// integration tests do not pin down.
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "tpcc/tpcc.h"
+
+namespace sprwl::tpcc {
+namespace {
+
+Scale tiny_scale() {
+  Scale s;
+  s.warehouses = 2;
+  s.districts_per_warehouse = 2;
+  s.customers_per_district = 40;
+  s.items = 200;
+  s.order_ring = 64;
+  s.max_threads = 2;
+  s.history_per_thread = 512;
+  return s;
+}
+
+class TpccDetails : public ::testing::Test {
+ protected:
+  TpccDetails() : db_(tiny_scale()), tid_(0) { db_.populate(); }
+  Database db_;
+  ThreadIdScope tid_;
+  Rng rng_{17};
+};
+
+TEST_F(TpccDetails, StockReorderRuleWrapsBelowThreshold) {
+  // Clause 2.4.2.2: s_quantity' = s_quantity - qty if that leaves >= 10,
+  // else s_quantity - qty + 91. Drive one stock item down repeatedly and
+  // check it never goes below zero (unsigned wrap would explode).
+  for (int round = 0; round < 60; ++round) {
+    NewOrderInput in = db_.make_new_order_input(rng_, 1);
+    in.rollback = false;
+    in.ol_cnt = 5;
+    for (int l = 0; l < in.ol_cnt; ++l) {
+      in.lines[static_cast<std::size_t>(l)].i_id = 7;  // same item
+      in.lines[static_cast<std::size_t>(l)].supply_w_id = 1;
+      in.lines[static_cast<std::size_t>(l)].quantity = 10;
+    }
+    const NewOrderResult r = db_.new_order(in);
+    EXPECT_TRUE(r.committed);
+  }
+  // Quantity stayed in a sane band (reorder keeps it positive, < 200).
+  StockLevelInput sl{};
+  sl.w_id = 1;
+  sl.d_id = 1;
+  sl.threshold = 200;
+  const StockLevelResult res = db_.stock_level(sl);
+  EXPECT_GE(res.low_stock, 0);
+}
+
+TEST_F(TpccDetails, NewOrderTotalIncludesDiscountAndTaxes) {
+  NewOrderInput in = db_.make_new_order_input(rng_, 1);
+  in.rollback = false;
+  in.ol_cnt = 5;
+  for (int l = 0; l < in.ol_cnt; ++l) {
+    auto& line = in.lines[static_cast<std::size_t>(l)];
+    line.i_id = l + 1;
+    line.supply_w_id = 1;
+    line.quantity = 2;
+  }
+  const NewOrderResult r = db_.new_order(in);
+  ASSERT_TRUE(r.committed);
+  EXPECT_GT(r.total_cents, 0);
+  // 5 items, quantity 2, prices in [1,100] dollars, discount <= 50%,
+  // taxes <= 2 x 20%: bound the total sanity-wise.
+  EXPECT_LE(r.total_cents, 5 * 2 * 10000 * 2);
+}
+
+TEST_F(TpccDetails, BadCreditPaymentRewritesCustomerData) {
+  // Clause 2.5.2.2: a payment by a bad-credit customer prepends the
+  // payment record to C_DATA (truncated to the column); good-credit
+  // customers' data stays untouched.
+  int bad = -1, good = -1;
+  for (int c = 1; c <= tiny_scale().customers_per_district; ++c) {
+    if (!db_.raw_customer_good_credit(1, 1, c) && bad < 0) bad = c;
+    if (db_.raw_customer_good_credit(1, 1, c) && good < 0) good = c;
+  }
+  ASSERT_GT(bad, 0) << "population must create ~10% bad-credit customers";
+  ASSERT_GT(good, 0);
+
+  const std::string before_bad = db_.raw_customer_data(1, 1, bad);
+  const std::string before_good = db_.raw_customer_data(1, 1, good);
+  for (const int c : {bad, good}) {
+    PaymentInput in{};
+    in.w_id = in.c_w_id = 1;
+    in.d_id = in.c_d_id = 1;
+    in.by_last_name = false;
+    in.c_id = c;
+    in.amount_cents = 123456;
+    db_.payment(in);
+  }
+  const std::string after_bad = db_.raw_customer_data(1, 1, bad);
+  EXPECT_NE(after_bad, before_bad);
+  EXPECT_NE(after_bad.find("123456"), std::string::npos);  // amount recorded
+  EXPECT_EQ(after_bad.rfind(std::to_string(bad) + " ", 0), 0u);  // prefixed
+  EXPECT_LE(after_bad.size(), 240u);  // truncated to the column size
+  EXPECT_EQ(db_.raw_customer_data(1, 1, good), before_good);
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDetails, RemotePaymentChargesHomeDistrict) {
+  // A remote payment (customer lives in warehouse 2) must add to warehouse
+  // 1's YTD — the C1 consistency base. Drift stays zero either way.
+  PaymentInput in{};
+  in.w_id = 1;
+  in.d_id = 1;
+  in.c_w_id = 2;
+  in.c_d_id = 2;
+  in.by_last_name = false;
+  in.c_id = 3;
+  in.amount_cents = 777;
+  const PaymentResult r = db_.payment(in);
+  EXPECT_EQ(r.c_id, 3);
+  EXPECT_TRUE(db_.check_warehouse_ytd());
+  EXPECT_EQ(db_.raw_total_balance_drift(), 0);
+}
+
+TEST_F(TpccDetails, DeliveryIsFifoPerDistrict) {
+  // The oldest undelivered order of each district goes first.
+  // District 1's queue head after population is its oldest undelivered id.
+  DeliveryInput in = db_.make_delivery_input(rng_, 1);
+  const DeliveryResult first = db_.delivery(in);
+  ASSERT_GT(first.delivered, 0);
+  // Deliver everything; ids must come out in increasing order per district
+  // (verified indirectly: queue consistency holds after each call).
+  int guard = 0;
+  while (db_.delivery(db_.make_delivery_input(rng_, 1)).delivered > 0) {
+    ASSERT_TRUE(db_.check_new_order_queue());
+    ASSERT_LT(++guard, 200);
+  }
+}
+
+TEST_F(TpccDetails, StockLevelCountsDistinctItemsOnly) {
+  // Seed a district with orders that repeat one item heavily: low_stock
+  // must count the item at most once.
+  NewOrderInput in = db_.make_new_order_input(rng_, 2);
+  in.rollback = false;
+  in.d_id = 1;
+  in.ol_cnt = 10;
+  for (int l = 0; l < in.ol_cnt; ++l) {
+    auto& line = in.lines[static_cast<std::size_t>(l)];
+    line.i_id = 42;
+    line.supply_w_id = 2;
+    line.quantity = 10;
+  }
+  for (int i = 0; i < 20; ++i) db_.new_order(in);  // 20 orders, same item
+  StockLevelInput sl{};
+  sl.w_id = 2;
+  sl.d_id = 1;
+  sl.threshold = 10000;  // everything counts as low
+  const StockLevelResult r = db_.stock_level(sl);
+  // 20 orders x 10 lines scanned, but distinct items bound the count.
+  EXPECT_GT(r.scanned_lines, 100);
+  EXPECT_LT(r.low_stock, r.scanned_lines / 2);
+}
+
+TEST_F(TpccDetails, OrderStatusReflectsDeliveryCarrier) {
+  NewOrderInput in = db_.make_new_order_input(rng_, 1);
+  in.rollback = false;
+  in.d_id = 1;
+  const NewOrderResult no = db_.new_order(in);
+  ASSERT_TRUE(no.committed);
+  // Drain older orders so ours is delivered next in district 1.
+  OrderStatusInput os{};
+  os.w_id = 1;
+  os.d_id = 1;
+  os.c_id = in.c_id;
+  int guard = 0;
+  for (;;) {
+    const OrderStatusResult st = db_.order_status(os);
+    ASSERT_EQ(st.o_id, no.o_id);
+    if (st.carrier_id != 0) break;  // delivered: carrier assigned
+    DeliveryInput din = db_.make_delivery_input(rng_, 1);
+    ASSERT_GT(db_.delivery(din).delivered, 0);
+    ASSERT_LT(++guard, 100);
+  }
+}
+
+}  // namespace
+}  // namespace sprwl::tpcc

@@ -1,0 +1,65 @@
+#include "tpcc/tpcc_random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sprwl::tpcc {
+namespace {
+
+TEST(NuRandDist, StaysWithinBounds) {
+  NuRand nu(123, 511, 4095);
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto c = nu.customer_id(rng, 3000);
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 3000u);
+    const auto it = nu.item_id(rng, 100000);
+    EXPECT_GE(it, 1u);
+    EXPECT_LE(it, 100000u);
+    EXPECT_LE(nu.last_name_code(rng, 999), 999u);
+  }
+}
+
+TEST(NuRandDist, IsNonUniform) {
+  // NURand concentrates mass: the most popular decile should receive far
+  // more than 10% of draws.
+  NuRand nu(7, 11, 13);
+  Rng rng(2);
+  std::array<int, 10> deciles{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = nu.customer_id(rng, 3000);
+    ++deciles[(v - 1) * 10 / 3000];
+  }
+  int max_decile = 0;
+  for (int d : deciles) max_decile = std::max(max_decile, d);
+  EXPECT_GT(max_decile, n / 10 * 2);
+}
+
+TEST(LastName, BuildsFromSyllables) {
+  EXPECT_EQ(last_name(0), "BARBARBAR");
+  EXPECT_EQ(last_name(999), "EINGEINGEING");
+  EXPECT_EQ(last_name(371), "PRICALLYOUGHT");
+  EXPECT_EQ(last_name(123), "OUGHTABLEPRI");
+}
+
+TEST(RandomStrings, RespectLengthBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string a = random_astring(rng, 14, 24);
+    EXPECT_GE(a.size(), 14u);
+    EXPECT_LE(a.size(), 24u);
+    const std::string d = random_nstring(rng, 16, 16);
+    EXPECT_EQ(d.size(), 16u);
+    for (char ch : d) EXPECT_TRUE(ch >= '0' && ch <= '9');
+  }
+}
+
+TEST(RandomStrings, FixedLengthWorks) {
+  Rng rng(4);
+  EXPECT_EQ(random_astring(rng, 24, 24).size(), 24u);
+}
+
+}  // namespace
+}  // namespace sprwl::tpcc

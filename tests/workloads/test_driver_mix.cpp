@@ -1,0 +1,63 @@
+// Driver statistics: the generated operation mix must track the configured
+// update ratio, and the virtual-time accounting must be internally
+// consistent (latency sums bounded by threads x window).
+#include <gtest/gtest.h>
+
+#include "core/sprwl.h"
+#include "workloads/driver.h"
+
+namespace sprwl::workloads {
+namespace {
+
+RunResult run_with_ratio(double ratio) {
+  htm::Engine engine{htm::EngineConfig{}};
+  HashMap::Config mc;
+  mc.buckets = 128;
+  mc.capacity = 8192;
+  mc.max_threads = 4;
+  HashMap map(mc);
+  Rng rng(1);
+  map.populate(2048, 4096, rng);
+  core::SpRWLock lock{core::Config::variant(core::SchedulingVariant::kFull, 4)};
+  DriverConfig dc;
+  dc.threads = 4;
+  dc.update_ratio = ratio;
+  dc.lookups_per_read = 2;
+  dc.key_space = 4096;
+  dc.warmup_cycles = 100'000;
+  dc.measure_cycles = 2'000'000;
+  dc.seed = 5;
+  sim::Simulator sim;
+  return run_hashmap(sim, engine, lock, map, dc);
+}
+
+TEST(DriverMix, UpdateRatioIsHonoured) {
+  for (const double ratio : {0.1, 0.5, 0.9}) {
+    const RunResult r = run_with_ratio(ratio);
+    const double measured =
+        static_cast<double>(r.writes) / static_cast<double>(r.committed());
+    EXPECT_NEAR(measured, ratio, 0.05) << "ratio " << ratio;
+  }
+}
+
+TEST(DriverMix, ZeroAndFullUpdateRatios) {
+  const RunResult none = run_with_ratio(0.0);
+  EXPECT_EQ(none.writes, 0u);
+  EXPECT_GT(none.reads, 0u);
+  const RunResult all = run_with_ratio(1.0);
+  EXPECT_EQ(all.reads, 0u);
+  EXPECT_GT(all.writes, 0u);
+}
+
+TEST(DriverMix, LatencySumsBoundedByThreadTime) {
+  const RunResult r = run_with_ratio(0.3);
+  // Total time spent inside measured operations cannot exceed the window
+  // times the thread count (operations do not overlap within a thread).
+  const double budget = 4.0 * (2'000'000 + 100'000);
+  EXPECT_LE(static_cast<double>(r.read_latency.sum() + r.write_latency.sum()),
+            budget);
+  EXPECT_GE(r.read_latency.quantile(0.99), r.read_latency.quantile(0.10));
+}
+
+}  // namespace
+}  // namespace sprwl::workloads

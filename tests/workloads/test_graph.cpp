@@ -1,0 +1,168 @@
+#include "workloads/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/platform.h"
+#include "core/sprwl.h"
+#include "htm/engine.h"
+#include "locks/rwlock_concept.h"
+#include "locks/tle.h"
+#include "sim/simulator.h"
+
+namespace sprwl::workloads {
+namespace {
+
+// The region-lock concept holds for the whole family (compile-time check).
+static_assert(locks::RegionRWLock<core::SpRWLock>);
+static_assert(locks::RegionRWLock<locks::TLELock>);
+
+Graph::Config small_config() {
+  Graph::Config cfg;
+  cfg.nodes = 256;
+  cfg.edge_capacity = 8192;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+TEST(Graph, AddRemoveEdgeSemantics) {
+  ThreadIdScope tid(0);
+  Graph g(small_config());
+  EXPECT_TRUE(g.add_edge(1, 2));
+  EXPECT_FALSE(g.add_edge(1, 2));  // duplicate
+  EXPECT_TRUE(g.raw_has_edge(1, 2));
+  EXPECT_FALSE(g.raw_has_edge(2, 1));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.remove_edge(1, 2));
+  EXPECT_FALSE(g.remove_edge(1, 2));
+  EXPECT_EQ(g.raw_edge_count(), 0u);
+}
+
+TEST(Graph, PopulateCreatesEdges) {
+  Graph g(small_config());
+  Rng rng(4);
+  g.populate(2000, rng);
+  // Duplicates collapse, so <= 2000, but most survive.
+  EXPECT_GT(g.raw_edge_count(), 1500u);
+  EXPECT_LE(g.raw_edge_count(), 2000u);
+}
+
+TEST(Graph, BfsOnKnownTopology) {
+  ThreadIdScope tid(0);
+  Graph g(small_config());
+  // Chain 0 -> 1 -> 2 -> 3 plus an island 10 -> 11.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(10, 11);
+  EXPECT_EQ(g.bfs_count(0, 1000), 4u);
+  EXPECT_EQ(g.bfs_count(1, 1000), 3u);
+  EXPECT_EQ(g.bfs_count(3, 1000), 1u);
+  EXPECT_EQ(g.bfs_count(10, 1000), 2u);
+}
+
+TEST(Graph, BfsVisitBoundLimitsTraversal) {
+  ThreadIdScope tid(0);
+  Graph g(small_config());
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) g.add_edge(i, i + 1);
+  EXPECT_EQ(g.bfs_count(0, 10), 11u);   // 10 dequeues discover 11 nodes
+  EXPECT_EQ(g.bfs_count(0, 1000), 100u);
+}
+
+TEST(Graph, EdgeRecyclingAfterRemove) {
+  ThreadIdScope tid(0);
+  Graph::Config cfg;
+  cfg.nodes = 16;
+  cfg.edge_capacity = 8;
+  cfg.max_threads = 1;
+  Graph g(cfg);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(g.add_edge(1, static_cast<std::uint32_t>(round % 7)));
+    EXPECT_TRUE(g.remove_edge(1, static_cast<std::uint32_t>(round % 7)));
+  }
+  EXPECT_EQ(g.raw_edge_count(), 0u);
+}
+
+TEST(Graph, SymmetricEdgePairsStayAtomicUnderSpRWL) {
+  // Writers add/remove symmetric pairs (a->b with b->a) in one section;
+  // traversal readers must never observe a one-way pair.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  Graph g(small_config());
+  core::SpRWLock lock{core::Config::variant(core::SchedulingVariant::kFull, 8)};
+  std::uint64_t asymmetries = 0;
+  sim::Simulator sim;
+  sim.run(8, [&](int tid) {
+    Rng rng(static_cast<std::uint64_t>(tid) * 7 + 3);
+    for (int i = 0; i < 120; ++i) {
+      std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(64));
+      std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(64));
+      if (a == b) b = (b + 1) % 64;
+      if (rng.next_bool(0.4)) {
+        const bool add = rng.next_bool(0.5);
+        lock.write(1, [&] {
+          if (add) {
+            // Keep the pair invariant even if one direction pre-exists.
+            const bool f = g.add_edge(a, b);
+            const bool r = g.add_edge(b, a);
+            if (f != r) {  // restore symmetry
+              if (f) g.remove_edge(a, b);
+              if (r) g.remove_edge(b, a);
+            }
+          } else {
+            const bool f = g.remove_edge(a, b);
+            const bool r = g.remove_edge(b, a);
+            if (f != r) {  // restore symmetry
+              if (f) g.add_edge(a, b);
+              if (r) g.add_edge(b, a);
+            }
+          }
+        });
+      } else {
+        // Reader: symmetric membership must hold inside one read section.
+        lock.read(0, [&] {
+          const bool ab = g.has_edge(a, b);
+          platform::advance(rng.next_below(200));
+          const bool ba = g.has_edge(b, a);
+          if (ab != ba) ++asymmetries;
+        });
+      }
+    }
+  });
+  EXPECT_EQ(asymmetries, 0u);
+  // Quiescent symmetry check: every edge has its reverse.
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    for (std::uint32_t b = 0; b < 64; ++b) {
+      if (g.raw_has_edge(a, b) && !g.raw_has_edge(b, a)) ++asymmetries;
+    }
+  }
+  EXPECT_EQ(asymmetries, 0u);
+}
+
+TEST(Graph, LongTraversalsRunUninstrumentedUnderSpRWL) {
+  htm::EngineConfig ecfg;
+  ecfg.capacity = htm::kPower8;
+  htm::Engine engine(ecfg);
+  htm::EngineScope scope(engine);
+  Graph g(small_config());
+  {
+    ThreadIdScope tid(0);
+    Rng rng(9);
+    g.populate(4000, rng);
+  }
+  core::SpRWLock lock{core::Config::variant(core::SchedulingVariant::kFull, 4)};
+  sim::Simulator sim;
+  sim.run(4, [&](int tid) {
+    Rng rng(static_cast<std::uint64_t>(tid) + 1);
+    for (int i = 0; i < 30; ++i) {
+      lock.read(0, [&] {
+        (void)g.bfs_count(static_cast<std::uint32_t>(rng.next_below(256)), 200);
+      });
+    }
+  });
+  const locks::LockStats s = lock.stats();
+  EXPECT_GT(s.reads.unins, 0u);  // traversals exceeded HTM capacity
+  EXPECT_EQ(s.reads.gl, 0u);
+}
+
+}  // namespace
+}  // namespace sprwl::workloads

@@ -1,0 +1,151 @@
+#include "workloads/hashmap.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "core/sprwl.h"
+#include "htm/engine.h"
+#include "sim/simulator.h"
+
+namespace sprwl::workloads {
+namespace {
+
+HashMap::Config small_config() {
+  HashMap::Config cfg;
+  cfg.buckets = 64;
+  cfg.capacity = 4096;
+  cfg.max_threads = 8;
+  return cfg;
+}
+
+TEST(HashMap, InsertLookupErase) {
+  ThreadIdScope tid(0);
+  HashMap map(small_config());
+  EXPECT_FALSE(map.lookup(42));
+  EXPECT_TRUE(map.insert(42, 1));
+  EXPECT_TRUE(map.lookup(42));
+  EXPECT_FALSE(map.insert(42, 2));  // duplicate: refresh, not insert
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_FALSE(map.lookup(42));
+  EXPECT_FALSE(map.erase(42));
+}
+
+TEST(HashMap, PopulateCreatesExactCount) {
+  HashMap map(small_config());
+  Rng rng(5);
+  map.populate(1000, 1u << 14, rng);
+  EXPECT_EQ(map.raw_size(), 1000u);
+}
+
+TEST(HashMap, PopulatedKeysAreFindable) {
+  HashMap::Config cfg = small_config();
+  HashMap map(cfg);
+  Rng rng(7);
+  map.populate(500, 1024, rng);
+  ThreadIdScope tid(0);
+  std::size_t found = 0;
+  for (std::uint64_t k = 0; k < 1024; ++k) found += map.lookup(k);
+  EXPECT_EQ(found, 500u);
+}
+
+TEST(HashMap, PopulateRejectsOverflow) {
+  HashMap map(small_config());
+  Rng rng(5);
+  EXPECT_THROW(map.populate(5000, 1 << 20, rng), std::invalid_argument);
+}
+
+TEST(HashMap, NodeRecyclingAfterErase) {
+  ThreadIdScope tid(0);
+  HashMap::Config cfg;
+  cfg.buckets = 4;
+  cfg.capacity = 8;
+  cfg.max_threads = 1;
+  HashMap map(cfg);
+  // Insert/erase far more distinct values than pool capacity: recycling
+  // must keep this working.
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(map.insert(k, k));
+    EXPECT_TRUE(map.erase(k));
+  }
+  EXPECT_EQ(map.raw_size(), 0u);
+}
+
+TEST(HashMap, PoolExhaustionDropsInsertsGracefully) {
+  ThreadIdScope tid(0);
+  HashMap::Config cfg;
+  cfg.buckets = 4;
+  cfg.capacity = 4;
+  cfg.max_threads = 1;
+  HashMap map(cfg);
+  int inserted = 0;
+  for (std::uint64_t k = 0; k < 10; ++k) inserted += map.insert(k, k);
+  EXPECT_EQ(inserted, 4);
+  EXPECT_EQ(map.raw_size(), 4u);
+}
+
+TEST(HashMap, MatchesReferenceSetSingleThreaded) {
+  ThreadIdScope tid(0);
+  HashMap map(small_config());
+  std::unordered_set<std::uint64_t> ref;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_below(512);
+    switch (rng.next_below(3)) {
+      case 0:
+        EXPECT_EQ(map.insert(key, key), ref.insert(key).second);
+        break;
+      case 1:
+        EXPECT_EQ(map.erase(key), ref.erase(key) > 0);
+        break;
+      default:
+        EXPECT_EQ(map.lookup(key), ref.count(key) > 0);
+    }
+  }
+  EXPECT_EQ(map.raw_size(), ref.size());
+}
+
+TEST(HashMap, ConcurrentUseUnderSpRWLKeepsIntegrity) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  HashMap map(small_config());
+  Rng prng(3);
+  map.populate(1024, 4096, prng);
+  core::Config lcfg = core::Config::variant(core::SchedulingVariant::kFull, 8);
+  core::SpRWLock lock{lcfg};
+  sim::Simulator sim;
+  std::int64_t delta = 0;  // net inserts minus erases that succeeded
+  sim.run(8, [&](int tid) {
+    Rng rng(static_cast<std::uint64_t>(tid) * 17 + 1);
+    std::int64_t my_delta = 0;
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t key = rng.next_below(4096);
+      if (rng.next_bool(0.5)) {
+        // Decide the operation outside the region: the body may re-run on
+        // HTM retries and must be idempotent w.r.t. its inputs.
+        const bool do_insert = rng.next_bool(0.5);
+        lock.write(1, [&] {
+          // Compute the effect from the final attempt only, by writing to
+          // a local that each execution overwrites.
+          my_delta = 0;
+          if (do_insert) {
+            if (map.insert(key, key)) my_delta = 1;
+          } else {
+            if (map.erase(key)) my_delta = -1;
+          }
+        });
+        delta += my_delta;
+      } else {
+        lock.read(0, [&] {
+          for (int j = 0; j < 5; ++j) map.lookup(rng.next_below(4096));
+        });
+      }
+    }
+  });
+  EXPECT_EQ(map.raw_size(), static_cast<std::size_t>(1024 + delta));
+}
+
+}  // namespace
+}  // namespace sprwl::workloads
