@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_adaptive_tracking"
+  "../bench/ablation_adaptive_tracking.pdb"
+  "CMakeFiles/ablation_adaptive_tracking.dir/ablation_adaptive_tracking.cpp.o"
+  "CMakeFiles/ablation_adaptive_tracking.dir/ablation_adaptive_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_delta"
+  "../bench/ablation_delta.pdb"
+  "CMakeFiles/ablation_delta.dir/ablation_delta.cpp.o"
+  "CMakeFiles/ablation_delta.dir/ablation_delta.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_btree_range_scan"
+  "../bench/extra_btree_range_scan.pdb"
+  "CMakeFiles/extra_btree_range_scan.dir/extra_btree_range_scan.cpp.o"
+  "CMakeFiles/extra_btree_range_scan.dir/extra_btree_range_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_btree_range_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

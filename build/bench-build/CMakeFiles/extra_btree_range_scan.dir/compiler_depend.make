@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for extra_btree_range_scan.
+# This may be replaced when dependencies are built.

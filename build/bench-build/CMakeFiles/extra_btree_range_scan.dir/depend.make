@@ -1,0 +1,2 @@
+# Empty dependencies file for extra_btree_range_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_hashmap_long_readers"
+  "../bench/fig3_hashmap_long_readers.pdb"
+  "CMakeFiles/fig3_hashmap_long_readers.dir/fig3_hashmap_long_readers.cpp.o"
+  "CMakeFiles/fig3_hashmap_long_readers.dir/fig3_hashmap_long_readers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hashmap_long_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_hashmap_short_readers"
+  "../bench/fig4_hashmap_short_readers.pdb"
+  "CMakeFiles/fig4_hashmap_short_readers.dir/fig4_hashmap_short_readers.cpp.o"
+  "CMakeFiles/fig4_hashmap_short_readers.dir/fig4_hashmap_short_readers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hashmap_short_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scheduling_ablation"
+  "../bench/fig5_scheduling_ablation.pdb"
+  "CMakeFiles/fig5_scheduling_ablation.dir/fig5_scheduling_ablation.cpp.o"
+  "CMakeFiles/fig5_scheduling_ablation.dir/fig5_scheduling_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scheduling_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_snzi_reader_size"
+  "../bench/fig6_snzi_reader_size.pdb"
+  "CMakeFiles/fig6_snzi_reader_size.dir/fig6_snzi_reader_size.cpp.o"
+  "CMakeFiles/fig6_snzi_reader_size.dir/fig6_snzi_reader_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_snzi_reader_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_tpcc"
+  "../bench/fig7_tpcc.pdb"
+  "CMakeFiles/fig7_tpcc.dir/fig7_tpcc.cpp.o"
+  "CMakeFiles/fig7_tpcc.dir/fig7_tpcc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_lock_ops"
+  "../bench/micro_lock_ops.pdb"
+  "CMakeFiles/micro_lock_ops.dir/micro_lock_ops.cpp.o"
+  "CMakeFiles/micro_lock_ops.dir/micro_lock_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lock_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

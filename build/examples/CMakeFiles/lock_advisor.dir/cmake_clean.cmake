@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_advisor.dir/lock_advisor.cpp.o"
+  "CMakeFiles/lock_advisor.dir/lock_advisor.cpp.o.d"
+  "lock_advisor"
+  "lock_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_query_store.dir/range_query_store.cpp.o"
+  "CMakeFiles/range_query_store.dir/range_query_store.cpp.o.d"
+  "range_query_store"
+  "range_query_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_query_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_app.dir/tpcc_app.cpp.o"
+  "CMakeFiles/tpcc_app.dir/tpcc_app.cpp.o.d"
+  "tpcc_app"
+  "tpcc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;sprwl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_range_query_store "/root/repo/build/examples/range_query_store")
+set_tests_properties(example_range_query_store PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;sprwl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tpcc_app "/root/repo/build/examples/tpcc_app")
+set_tests_properties(example_tpcc_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;sprwl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lock_advisor "/root/repo/build/examples/lock_advisor")
+set_tests_properties(example_lock_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;sprwl_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_timeline "/root/repo/build/examples/trace_timeline")
+set_tests_properties(example_trace_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;sprwl_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprwl_common.dir/platform.cpp.o"
+  "CMakeFiles/sprwl_common.dir/platform.cpp.o.d"
+  "libsprwl_common.a"
+  "libsprwl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprwl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

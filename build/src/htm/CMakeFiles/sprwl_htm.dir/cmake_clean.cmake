@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprwl_htm.dir/engine.cpp.o"
+  "CMakeFiles/sprwl_htm.dir/engine.cpp.o.d"
+  "libsprwl_htm.a"
+  "libsprwl_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprwl_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprwl_sim.dir/fiber_switch.S.o"
+  "CMakeFiles/sprwl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/sprwl_sim.dir/simulator.cpp.o.d"
+  "libsprwl_sim.a"
+  "libsprwl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/sprwl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

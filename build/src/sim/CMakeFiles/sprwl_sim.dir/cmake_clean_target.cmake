@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsprwl_sim.a"
+)

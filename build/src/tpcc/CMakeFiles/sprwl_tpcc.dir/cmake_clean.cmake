@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprwl_tpcc.dir/tpcc.cpp.o"
+  "CMakeFiles/sprwl_tpcc.dir/tpcc.cpp.o.d"
+  "libsprwl_tpcc.a"
+  "libsprwl_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprwl_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

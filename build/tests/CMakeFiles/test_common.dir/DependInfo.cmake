@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_ema.cpp" "tests/CMakeFiles/test_common.dir/common/test_ema.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_ema.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_platform.cpp" "tests/CMakeFiles/test_common.dir/common/test_platform.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_platform.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_trace.cpp" "tests/CMakeFiles/test_common.dir/common/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprwl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprwl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/sprwl_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/sprwl_tpcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

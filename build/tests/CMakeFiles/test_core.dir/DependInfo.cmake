@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_adaptive.cpp" "tests/CMakeFiles/test_core.dir/core/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_adaptive.cpp.o.d"
+  "/root/repo/tests/core/test_base_safety.cpp" "tests/CMakeFiles/test_core.dir/core/test_base_safety.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_base_safety.cpp.o.d"
+  "/root/repo/tests/core/test_config_fuzz.cpp" "tests/CMakeFiles/test_core.dir/core/test_config_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_latency_tradeoff.cpp" "tests/CMakeFiles/test_core.dir/core/test_latency_tradeoff.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_latency_tradeoff.cpp.o.d"
+  "/root/repo/tests/core/test_scheduling.cpp" "tests/CMakeFiles/test_core.dir/core/test_scheduling.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scheduling.cpp.o.d"
+  "/root/repo/tests/core/test_variants.cpp" "tests/CMakeFiles/test_core.dir/core/test_variants.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_variants.cpp.o.d"
+  "/root/repo/tests/core/test_versioned_sgl.cpp" "tests/CMakeFiles/test_core.dir/core/test_versioned_sgl.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_versioned_sgl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprwl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprwl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/sprwl_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/sprwl_tpcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

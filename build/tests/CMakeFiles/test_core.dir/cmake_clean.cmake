@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_adaptive.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_adaptive.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_base_safety.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_base_safety.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config_fuzz.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config_fuzz.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_latency_tradeoff.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_latency_tradeoff.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scheduling.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scheduling.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_variants.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_variants.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_versioned_sgl.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_versioned_sgl.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/htm/test_engine_basic.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_engine_basic.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_engine_basic.cpp.o.d"
+  "/root/repo/tests/htm/test_engine_capacity.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_engine_capacity.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_engine_capacity.cpp.o.d"
+  "/root/repo/tests/htm/test_engine_conflicts.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_engine_conflicts.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_engine_conflicts.cpp.o.d"
+  "/root/repo/tests/htm/test_line_set.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_line_set.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_line_set.cpp.o.d"
+  "/root/repo/tests/htm/test_opacity.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_opacity.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_opacity.cpp.o.d"
+  "/root/repo/tests/htm/test_serializability.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_serializability.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_serializability.cpp.o.d"
+  "/root/repo/tests/htm/test_shared.cpp" "tests/CMakeFiles/test_htm.dir/htm/test_shared.cpp.o" "gcc" "tests/CMakeFiles/test_htm.dir/htm/test_shared.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprwl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprwl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/sprwl_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/sprwl_tpcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htm.dir/htm/test_engine_basic.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_engine_basic.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_engine_capacity.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_engine_capacity.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_engine_conflicts.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_engine_conflicts.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_line_set.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_line_set.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_opacity.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_opacity.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_serializability.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_serializability.cpp.o.d"
+  "CMakeFiles/test_htm.dir/htm/test_shared.cpp.o"
+  "CMakeFiles/test_htm.dir/htm/test_shared.cpp.o.d"
+  "test_htm"
+  "test_htm.pdb"
+  "test_htm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/locks/test_brlock_scaling.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_brlock_scaling.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_brlock_scaling.cpp.o.d"
+  "/root/repo/tests/locks/test_lock_safety.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_lock_safety.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_lock_safety.cpp.o.d"
+  "/root/repo/tests/locks/test_mcs_rwlock.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_mcs_rwlock.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_mcs_rwlock.cpp.o.d"
+  "/root/repo/tests/locks/test_phase_fair.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_phase_fair.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_phase_fair.cpp.o.d"
+  "/root/repo/tests/locks/test_rwle.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_rwle.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_rwle.cpp.o.d"
+  "/root/repo/tests/locks/test_sgl.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_sgl.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_sgl.cpp.o.d"
+  "/root/repo/tests/locks/test_tle.cpp" "tests/CMakeFiles/test_locks.dir/locks/test_tle.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/test_tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprwl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprwl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/sprwl_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/sprwl_tpcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locks.dir/locks/test_brlock_scaling.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_brlock_scaling.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_lock_safety.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_lock_safety.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_mcs_rwlock.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_mcs_rwlock.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_phase_fair.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_phase_fair.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_rwle.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_rwle.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_sgl.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_sgl.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/test_tle.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/test_tle.cpp.o.d"
+  "test_locks"
+  "test_locks.pdb"
+  "test_locks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snzi.dir/snzi/test_snzi.cpp.o"
+  "CMakeFiles/test_snzi.dir/snzi/test_snzi.cpp.o.d"
+  "test_snzi"
+  "test_snzi.pdb"
+  "test_snzi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snzi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpcc/test_index_shadow.cpp" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_index_shadow.cpp.o" "gcc" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_index_shadow.cpp.o.d"
+  "/root/repo/tests/tpcc/test_tpcc_concurrency.cpp" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_concurrency.cpp.o" "gcc" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_concurrency.cpp.o.d"
+  "/root/repo/tests/tpcc/test_tpcc_database.cpp" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_database.cpp.o" "gcc" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_database.cpp.o.d"
+  "/root/repo/tests/tpcc/test_tpcc_details.cpp" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_details.cpp.o" "gcc" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_details.cpp.o.d"
+  "/root/repo/tests/tpcc/test_tpcc_random.cpp" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_random.cpp.o" "gcc" "tests/CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sprwl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sprwl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/sprwl_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/sprwl_tpcc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpcc.dir/tpcc/test_index_shadow.cpp.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_index_shadow.cpp.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_concurrency.cpp.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_concurrency.cpp.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_database.cpp.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_database.cpp.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_details.cpp.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_details.cpp.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_random.cpp.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/test_tpcc_random.cpp.o.d"
+  "test_tpcc"
+  "test_tpcc.pdb"
+  "test_tpcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
