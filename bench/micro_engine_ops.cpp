@@ -1,0 +1,197 @@
+// Engine commit-path micro-benchmark: quantifies what decentralizing the
+// commit protocol (CommitMode::kPerLineLocks vs the seed's kGlobalLock) buys
+// for the primitives every lock algorithm in the library is built from:
+//
+//   tx_disjoint     each thread commits update transactions to its own line
+//   tx_sameline     all threads update one shared line (true conflicts)
+//   tx_readonly     read-only transactions (no publish either way)
+//   nontx_disjoint  strong-isolation stores to per-thread lines (the SpRWL
+//                   reader entry/exit flag pattern, unpacked flags)
+//   nontx_sameline  strong-isolation stores hammering one line
+//
+// Virtual-time throughput is the denominator (the host may have one core;
+// see sim/simulator.h). The disjoint scenarios are the point: under the
+// global lock they serialize on one word, under per-line locks they are
+// embarrassingly parallel. Emits a human table and BENCH_engine.json.
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench/support/bench_common.h"
+#include "common/costs.h"
+#include "common/platform.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "sim/simulator.h"
+
+namespace sprwl::bench {
+namespace {
+
+struct alignas(64) Cell {
+  htm::Shared<std::uint64_t> v;
+};
+
+struct RunOut {
+  std::uint64_t ops = 0;     // attempted operations (tx attempts or stores)
+  std::uint64_t cycles = 0;  // virtual final_time
+  htm::EngineStats stats;
+
+  double ops_per_s() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(ops) / static_cast<double>(cycles) *
+                             g_costs.ghz * 1e9;
+  }
+};
+
+constexpr const char* kScenarios[] = {"tx_disjoint", "tx_sameline",
+                                      "tx_readonly", "nontx_disjoint",
+                                      "nontx_sameline"};
+
+RunOut run_scenario(const std::string& scenario, htm::CommitMode mode,
+                    int threads, int ops_per_thread, std::uint64_t seed) {
+  htm::EngineConfig ec;
+  ec.commit_mode = mode;
+  ec.max_threads = threads;
+  ec.seed = seed;
+  htm::Engine engine(ec);
+  htm::EngineScope scope(engine);
+  std::vector<Cell> cells(static_cast<std::size_t>(threads) + 1);
+  Cell& shared_cell = cells.back();
+  sim::Simulator sim;
+  sim.run(threads, [&](int tid) {
+    auto& mine = cells[static_cast<std::size_t>(tid)].v;
+    for (int i = 0; i < ops_per_thread; ++i) {
+      if (scenario == "tx_disjoint") {
+        engine.try_transaction([&] { mine.store(mine.load() + 1); });
+      } else if (scenario == "tx_sameline") {
+        engine.try_transaction(
+            [&] { shared_cell.v.store(shared_cell.v.load() + 1); });
+      } else if (scenario == "tx_readonly") {
+        engine.try_transaction([&] {
+          (void)mine.load();
+          (void)shared_cell.v.load();
+        });
+      } else if (scenario == "nontx_disjoint") {
+        mine.store(static_cast<std::uint64_t>(i));
+      } else {  // nontx_sameline
+        shared_cell.v.store(static_cast<std::uint64_t>(i));
+      }
+    }
+  });
+  RunOut out;
+  out.ops = static_cast<std::uint64_t>(threads) *
+            static_cast<std::uint64_t>(ops_per_thread);
+  out.cycles = sim.final_time();
+  out.stats = engine.stats();
+  return out;
+}
+
+const char* mode_name(htm::CommitMode m) {
+  return m == htm::CommitMode::kPerLineLocks ? "perline" : "global";
+}
+
+int engine_ops_main(const Args& args) {
+  const int ops = args.full ? 10000 : 2000;
+  std::vector<int> threads{1, 2, 4, 8};
+  if (args.full) {
+    threads.push_back(16);
+    threads.push_back(32);
+  }
+
+  std::printf("Engine commit-path micro-ops | %d ops/thread | virtual time\n",
+              ops);
+  std::printf("%-15s %-8s %4s | %12s | %9s %9s %7s | %9s\n", "scenario", "mode",
+              "thr", "ops/s", "ln-retry", "nt-retry", "drains", "aborts");
+
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("engine_ops");
+  j.key("ops_per_thread").value(ops);
+  j.key("seed").value(args.seed);
+  j.key("rows").begin_array();
+
+  // perline/global ops-per-second, indexed [scenario][threads], for the
+  // speedup summary below.
+  double perline_tp[std::size(kScenarios)][64] = {};
+  double global_tp[std::size(kScenarios)][64] = {};
+
+  int si = 0;
+  for (const char* scenario : kScenarios) {
+    for (const htm::CommitMode mode :
+         {htm::CommitMode::kPerLineLocks, htm::CommitMode::kGlobalLock}) {
+      for (const int n : threads) {
+        const RunOut r = run_scenario(scenario, mode, n, ops, args.seed);
+        (mode == htm::CommitMode::kPerLineLocks ? perline_tp
+                                                : global_tp)[si][n] =
+            r.ops_per_s();
+        std::printf("%-15s %-8s %4d | %12.3e | %9llu %9llu %7llu | %9llu\n",
+                    scenario, mode_name(mode), n, r.ops_per_s(),
+                    static_cast<unsigned long long>(r.stats.commit_line_retries),
+                    static_cast<unsigned long long>(r.stats.nontx_line_retries),
+                    static_cast<unsigned long long>(r.stats.publish_drains),
+                    static_cast<unsigned long long>(r.stats.total_aborts()));
+        j.begin_object();
+        j.key("scenario").value(scenario);
+        j.key("mode").value(mode_name(mode));
+        j.key("threads").value(n);
+        j.key("ops").value(r.ops);
+        j.key("cycles").value(r.cycles);
+        j.key("ops_per_s").value(r.ops_per_s());
+        j.key("commits_htm").value(r.stats.commits_htm);
+        j.key("aborts_conflict").value(r.stats.aborts_conflict);
+        j.key("commit_line_retries").value(r.stats.commit_line_retries);
+        j.key("nontx_line_retries").value(r.stats.nontx_line_retries);
+        j.key("publish_drains").value(r.stats.publish_drains);
+        j.end_object();
+      }
+    }
+    ++si;
+  }
+  j.end_array();
+
+  // The acceptance check of this change: at the top thread count, disjoint
+  // work must scale under per-line locks where the global lock serializes.
+  const int top = threads.back();
+  j.key("speedup_at_top_threads").begin_object();
+  j.key("threads").value(top);
+  std::printf("\nperline/global speedup at %d threads:\n", top);
+  si = 0;
+  bool ok = true;
+  for (const char* scenario : kScenarios) {
+    const double g = global_tp[si][top];
+    const double speedup = g > 0 ? perline_tp[si][top] / g : 0.0;
+    std::printf("  %-15s %5.2fx\n", scenario, speedup);
+    j.key(scenario).value(speedup);
+    if ((std::string(scenario) == "tx_disjoint" ||
+         std::string(scenario) == "nontx_disjoint") &&
+        speedup < 2.0) {
+      ok = false;
+    }
+    ++si;
+  }
+  j.key("disjoint_speedup_ok").value(ok);
+  j.end_object();
+  j.end_object();
+
+  const char* out = "BENCH_engine.json";
+  if (!j.write_file(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out);
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: disjoint scenarios did not reach 2x over the global "
+                 "lock\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sprwl::bench
+
+int main(int argc, char** argv) {
+  return sprwl::bench::engine_ops_main(sprwl::bench::Args::parse(argc, argv));
+}

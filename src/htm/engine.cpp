@@ -1,6 +1,9 @@
 #include "htm/engine.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "common/scope_exit.h"
 
 namespace sprwl::htm {
 
@@ -177,28 +180,131 @@ void Engine::tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
 
 void Engine::commit_lock() {
   for (;;) {
-    if (!commit_locked_.exchange(true, std::memory_order_acquire)) return;
+    if (!commit_locked_.exchange(true, std::memory_order_acquire)) break;
+    commit_waiters_.fetch_add(1, std::memory_order_relaxed);
+    ScopeExit uncount(
+        [this] { commit_waiters_.fetch_sub(1, std::memory_order_relaxed); });
     while (commit_locked_.load(std::memory_order_relaxed)) platform::pause();
   }
+  // Contended handoff: the winner's RMW contends with every spinner's (the
+  // TATAS invalidation storm, same model as SpinMutex). Charged while the
+  // lock is held — this is what serializes centralized publishes in
+  // virtual time and what kPerLineLocks removes.
+  const int w = commit_waiters_.load(std::memory_order_relaxed);
+  if (w > 0)
+    platform::advance(static_cast<std::uint64_t>(w) * g_costs.contention_unit);
 }
 
 void Engine::commit_unlock() noexcept {
   commit_locked_.store(false, std::memory_order_release);
 }
 
-void Engine::commit_attempt(Descriptor& d) {
-  platform::advance(g_costs.tx_commit);
-  maybe_spurious(d);
-
-  if (d.writes.empty()) {  // read-only: snapshot already validated at rv
-    ++(d.is_rot ? d.commits_rot : d.commits_htm);
-    if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
-    d.depth = 0;
-    return;
+std::uint64_t Engine::lock_line(std::uint32_t line, std::uint64_t& retries) {
+  std::atomic<std::uint64_t>& slot = table_[line];
+  for (;;) {
+    std::uint64_t v = slot.load(std::memory_order_acquire);
+    if ((v & kLockedBit) != 0) {
+      ++retries;
+      platform::pause();
+      continue;
+    }
+    if (slot.compare_exchange_weak(v, v | kLockedBit,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      return v;
+    }
+    ++retries;  // lost the race; re-read and retry immediately
   }
+}
 
-  // --- publish window: no virtual-time advance from here to unlock -------
+void Engine::drain_publishers() {
+  if (publish_count_.load(std::memory_order_seq_cst) == 0) return;
+  bool waited = false;
+  for (const auto& d : descriptors_) {
+    if (d->publishing.load(std::memory_order_acquire)) {
+      waited = true;
+      while (d->publishing.load(std::memory_order_acquire)) platform::pause();
+    }
+  }
+  if (waited) drains_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Engine::commit_publish_perline(Descriptor& d) {
+  auto& lines = d.write_line_list;
+  std::sort(lines.begin(), lines.end());  // global order -> no lock cycles
+  d.locked_versions.resize(lines.size());
+
+  std::size_t held = 0;
+  bool publishing = false;
+  try {
+    for (; held < lines.size(); ++held)
+      d.locked_versions[held] = lock_line(lines[held], d.line_retries);
+
+    // From here every concurrent nontx publish must be able to tell that a
+    // commit is mid-flight (the strong-isolation drain): flag-before-
+    // validate on this side pairs with bump-before-scan on theirs.
+    publish_count_.fetch_add(1, std::memory_order_relaxed);
+    d.publishing.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    publishing = true;
+
+    const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (!d.is_rot) {
+      for (const ReadEntry& e : d.reads) {
+        const auto it = std::lower_bound(lines.begin(), lines.end(), e.line);
+        if (it != lines.end() && *it == e.line) {
+          // A line we also write: we hold its lock; compare the version it
+          // carried when we took it.
+          const std::size_t idx =
+              static_cast<std::size_t>(it - lines.begin());
+          if (d.locked_versions[idx] != e.version)
+            abort_internal(AbortCause::kConflict);
+        } else {
+          // Any lock bit here belongs to another writer -> conflict.
+          const std::uint64_t v = table_[e.line].load(std::memory_order_acquire);
+          if (v != e.version) abort_internal(AbortCause::kConflict);
+        }
+      }
+    }
+
+    // The accounted write-back window: validation happened at its start,
+    // the held lines stay locked through it (transactional readers of them
+    // wait, nontx publishes to them queue on the line, flag bumps on other
+    // lines drain it), and disjoint commits advance their own clocks in
+    // parallel — the distributed analogue of the old zero-time global
+    // critical section.
+    platform::advance(g_costs.line_publish * lines.size());
+
+    // Write-back: no virtual-time advance from here to release, so the
+    // values and their new versions appear at one virtual-time instant.
+    for (const WriteEntry& w : d.writes)
+      w.cell->store(w.value, std::memory_order_release);
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      table_[lines[i]].store(wv, std::memory_order_release);
+    d.publishing.store(false, std::memory_order_release);
+    publish_count_.fetch_sub(1, std::memory_order_release);
+  } catch (...) {
+    // Conflict or virtual-time limit: restore the pre-lock version words
+    // (nothing was written back; any wv drawn just leaves a clock gap).
+    while (held-- > 0)
+      table_[lines[held]].store(d.locked_versions[held],
+                                std::memory_order_release);
+    if (publishing) {
+      d.publishing.store(false, std::memory_order_release);
+      publish_count_.fetch_sub(1, std::memory_order_release);
+    }
+    throw;
+  }
+}
+
+void Engine::commit_publish_global(Descriptor& d) {
   commit_lock();
+  try {
+    platform::advance(g_costs.line_publish * d.write_line_list.size());
+  } catch (...) {
+    commit_unlock();
+    throw;
+  }
   for (const std::uint32_t line : d.write_line_list) {
     const std::uint64_t v = table_[line].load(std::memory_order_relaxed);
     table_[line].store(v | kLockedBit, std::memory_order_release);
@@ -218,16 +324,28 @@ void Engine::commit_attempt(Descriptor& d) {
       }
     }
   }
-  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
+  const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
   for (const WriteEntry& w : d.writes) {
     w.cell->store(w.value, std::memory_order_release);
   }
   for (const std::uint32_t line : d.write_line_list) {
     table_[line].store(wv, std::memory_order_release);
   }
-  gvc_.store(wv, std::memory_order_release);
   commit_unlock();
-  // ------------------------------------------------------------------------
+}
+
+void Engine::commit_attempt(Descriptor& d) {
+  platform::advance(g_costs.tx_commit);
+  maybe_spurious(d);
+
+  if (!d.writes.empty()) {
+    if (cfg_.commit_mode == CommitMode::kPerLineLocks) {
+      commit_publish_perline(d);
+    } else {
+      commit_publish_global(d);
+    }
+  }
+  // Read-only transactions validated their snapshot at rv already.
 
   ++(d.is_rot ? d.commits_rot : d.commits_htm);
   if (d.is_rot) active_rots_.fetch_sub(1, std::memory_order_acq_rel);
@@ -264,38 +382,79 @@ void Engine::rollback_user(Descriptor& d) {
   platform::advance(g_costs.tx_abort);
 }
 
+bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
+                           std::uint64_t desired,
+                           const std::uint64_t* expected) {
+  if (cfg_.commit_mode == CommitMode::kGlobalLock) {
+    commit_lock();
+    try {
+      platform::advance(g_costs.line_publish);
+    } catch (...) {
+      commit_unlock();
+      throw;
+    }
+    if (expected != nullptr &&
+        cell.load(std::memory_order_acquire) != *expected) {
+      commit_unlock();
+      return false;
+    }
+    const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
+    table_[line].store(old | kLockedBit, std::memory_order_release);
+    cell.store(desired, std::memory_order_release);
+    const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    table_[line].store(wv, std::memory_order_release);
+    commit_unlock();
+    return true;
+  }
+
+  // Lock-free per-line cycle: the only word this synchronizes on is the
+  // owning line's versioned lock, so publishes to different lines never
+  // serialize with each other or with disjoint commits.
+  std::uint64_t retries = 0;
+  const std::uint64_t prelock = lock_line(line, retries);
+  if (retries > 0) nontx_retries_.fetch_add(retries, std::memory_order_relaxed);
+  try {
+    platform::advance(g_costs.line_publish);
+    if (expected != nullptr &&
+        cell.load(std::memory_order_acquire) != *expected) {
+      table_[line].store(prelock, std::memory_order_release);
+      return false;
+    }
+    cell.store(desired, std::memory_order_release);
+    const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    table_[line].store(wv, std::memory_order_release);
+  } catch (...) {
+    table_[line].store(prelock, std::memory_order_release);
+    throw;
+  }
+  // A writer that validated this line *before* our bump is still inside
+  // its publish window; wait it out so the caller — about to read data
+  // uninstrumented — observes everything that commit wrote (the other half
+  // of strong isolation). Bump-before-scan here pairs with the committer's
+  // flag-before-validate.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  drain_publishers();
+  return true;
+}
+
 void Engine::nontx_store(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
   assert(!in_tx() && "nontx_store inside a transaction; use Shared<T>::store");
   platform::advance(g_costs.store);
   const std::uint32_t line = line_of(reinterpret_cast<std::uintptr_t>(&cell));
-  commit_lock();
-  const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
-  table_[line].store(old | kLockedBit, std::memory_order_release);
-  cell.store(v, std::memory_order_release);
-  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
-  table_[line].store(wv, std::memory_order_release);
-  gvc_.store(wv, std::memory_order_release);
-  commit_unlock();
+  nontx_publish(line, cell, v, nullptr);
 }
 
 bool Engine::nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
                        std::uint64_t desired) {
   assert(!in_tx() && "nontx_cas inside a transaction; use Shared<T>::cas");
+  // Test-and-test-and-set: a failing compare is a plain load — no line
+  // version bump, no publish window, nothing for live transactions to
+  // conflict with (a CAS that writes nothing is invisible to coherence).
+  platform::advance(g_costs.load);
+  if (cell.load(std::memory_order_acquire) != expected) return false;
   platform::advance(g_costs.cas);
   const std::uint32_t line = line_of(reinterpret_cast<std::uintptr_t>(&cell));
-  commit_lock();
-  if (cell.load(std::memory_order_acquire) != expected) {
-    commit_unlock();
-    return false;
-  }
-  const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
-  table_[line].store(old | kLockedBit, std::memory_order_release);
-  cell.store(desired, std::memory_order_release);
-  const std::uint64_t wv = gvc_.load(std::memory_order_relaxed) + 1;
-  table_[line].store(wv, std::memory_order_release);
-  gvc_.store(wv, std::memory_order_release);
-  commit_unlock();
-  return true;
+  return nontx_publish(line, cell, desired, &expected);
 }
 
 EngineStats Engine::stats() const {
@@ -307,7 +466,10 @@ EngineStats Engine::stats() const {
     s.aborts_capacity += d->ab_capacity;
     s.aborts_explicit += d->ab_explicit;
     s.aborts_spurious += d->ab_spurious;
+    s.commit_line_retries += d->line_retries;
   }
+  s.nontx_line_retries = nontx_retries_.load(std::memory_order_relaxed);
+  s.publish_drains = drains_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -315,7 +477,10 @@ void Engine::reset_stats() {
   for (auto& d : descriptors_) {
     d->commits_htm = d->commits_rot = 0;
     d->ab_conflict = d->ab_capacity = d->ab_explicit = d->ab_spurious = 0;
+    d->line_retries = 0;
   }
+  nontx_retries_.store(0, std::memory_order_relaxed);
+  drains_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sprwl::htm

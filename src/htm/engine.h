@@ -10,18 +10,32 @@
 //    which guarantees *opacity*: live transactions only ever observe
 //    consistent snapshots, exactly like hardware transactions, so emulated
 //    transactions never crash on torn state.
-//  * Commits serialize on an internal, virtual-time-free spin lock, set a
-//    lock bit on the written lines, re-validate the read set, apply the
-//    redo log and publish a new version. Under the fiber simulator the
-//    locked region performs no virtual-time advance, so a commit is a
-//    single instant of virtual time — the hardware behaviour.
+//  * Commits are decentralized (TL2 writeback): a committing transaction
+//    CAS-acquires a versioned lock on each written line *individually*, in
+//    sorted line order (no deadlock), validates its read set against
+//    unlocked line versions, applies the redo log and releases every line
+//    with a fresh version from a fetch_add global version clock. Disjoint
+//    commits never touch the same words and proceed fully in parallel —
+//    there is no global commit lock on the default path (CommitMode::
+//    kPerLineLocks; the old centralized protocol survives as kGlobalLock,
+//    the baseline the micro-benchmarks quantify the win against). The
+//    publish window charges g_costs.line_publish per line *while the lines
+//    are held*, so in virtual time same-line publishes serialize and
+//    disjoint ones overlap; the final write-back itself performs no advance
+//    and is therefore a single virtual-time instant, like hardware.
 //  * Plain ("uninstrumented") accesses go straight to memory. The one spot
 //    where the SpRWL algorithm needs a plain STORE to be eagerly visible to
 //    conflict detection (the reader's state flag — the paper's strong
-//    isolation argument, Fig. 1) uses nontx_store()/nontx_cas(), which
-//    serialize with the commit lock and bump the line version, so a writer
-//    transaction that already read that line can no longer commit. This is
-//    precisely what the cache-coherence protocol does on real HTM.
+//    isolation argument, Fig. 1) uses nontx_store()/nontx_cas(): a single
+//    CAS cycle on the owning line's versioned lock (lock bit -> store ->
+//    bumped version), so concurrent readers flagging different lines never
+//    serialize with each other or with disjoint commits. A committing
+//    writer that read the flag's line either validates after the bump (and
+//    aborts) or validated before it — in which case the nontx publish
+//    *drains* that writer's in-flight publish window (per-thread publishing
+//    flags, single pass) before returning, so the flagging reader observes
+//    every write of the commit it serialized after. This is precisely what
+//    the cache-coherence protocol gives real HTM.
 //  * Capacity profiles bound the number of *distinct lines* read/written;
 //    exceeding them raises a capacity abort, as on the paper's machines.
 //  * ROTs (rollback-only transactions, POWER8) skip read tracking and
@@ -131,10 +145,14 @@ class Engine {
   std::uint64_t tx_read(const std::atomic<std::uint64_t>& cell);
   void tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v);
 
-  /// Strong-isolation plain store: serialized against commits, invalidates
-  /// the line in every live transaction's read set.
+  /// Strong-isolation plain store: a lock-free publish on the owning
+  /// line's versioned lock. Invalidates the line in every live
+  /// transaction's read set and drains commits already past validation, so
+  /// the caller subsequently reads a post-commit view. Stores to different
+  /// lines never serialize.
   void nontx_store(std::atomic<std::uint64_t>& cell, std::uint64_t v);
-  /// Same, as a compare-and-swap. Returns false (no write) on mismatch.
+  /// Same, as a compare-and-swap. Returns false (no write) on mismatch;
+  /// the failure path is a plain load — no version bump, no publish.
   bool nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
                  std::uint64_t desired);
 
@@ -166,10 +184,18 @@ class Engine {
     EpochMap<std::uint64_t> write_words;  // cell address -> index into writes
     EpochMap<std::uint32_t> write_lines;  // distinct written lines (capacity)
     std::vector<std::uint32_t> write_line_list;
+    // Pre-lock version of write_line_list[i] (sorted), recorded while the
+    // commit holds the line; doubles as the rollback image of the lock word.
+    std::vector<std::uint64_t> locked_versions;
     Rng rng;
     // Per-thread event counters (aggregated by Engine::stats()).
     std::uint64_t commits_htm = 0, commits_rot = 0;
     std::uint64_t ab_conflict = 0, ab_capacity = 0, ab_explicit = 0, ab_spurious = 0;
+    std::uint64_t line_retries = 0;  // contended commit line acquisitions
+    // True from just before read-set validation until the commit's writes
+    // are fully published. On its own cache line: every nontx publish may
+    // scan it (the strong-isolation drain) while the owner flips it.
+    alignas(64) std::atomic<bool> publishing{false};
   };
 
   static constexpr std::uint64_t kLockedBit = 1ULL << 63;
@@ -181,15 +207,38 @@ class Engine {
 
   void begin_attempt(Descriptor& d, bool rot);
   void commit_attempt(Descriptor& d);  // throws AbortException on conflict
+  void commit_publish_perline(Descriptor& d);
+  void commit_publish_global(Descriptor& d);
   void rollback_attempt(Descriptor& d, const AbortException& a);
   void rollback_user(Descriptor& d);
   void maybe_spurious(Descriptor& d);
   void extend(Descriptor& d);  // throws AbortException on failure
   [[noreturn]] void abort_internal(AbortCause cause, std::uint8_t code = 0);
 
-  // Commit lock: raw TATAS spin that charges no virtual time while held, so
-  // that commits are instantaneous in virtual time (hardware semantics).
-  // Waiters spin through platform::pause() and therefore do advance time.
+  /// CAS-acquires the lock bit on `line`, spinning while it is held
+  /// elsewhere. Returns the pre-lock version word. `retries` counts
+  /// contended rounds (lock observed held, or CAS lost the race).
+  std::uint64_t lock_line(std::uint32_t line, std::uint64_t& retries);
+
+  /// Single pass over all threads' publishing flags: waits until every
+  /// commit whose read-set validation may have preceded the caller's
+  /// version bump has finished publishing (strong-isolation drain).
+  void drain_publishers();
+
+  /// The per-line publish cycle shared by nontx_store/nontx_cas: lock the
+  /// line, charge the publish window, store `desired`, release with a
+  /// bumped version, drain in-flight commits. When `expected` is non-null
+  /// the cell is re-checked under the line lock (CAS semantics) and a
+  /// mismatch releases the line untouched and returns false.
+  bool nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
+                     std::uint64_t desired, const std::uint64_t* expected);
+
+  // kGlobalLock mode only: the original centralized TATAS commit lock.
+  // Waiters spin through platform::pause(); the winner of a contended
+  // handoff is charged contention_unit per spinner (the invalidation-storm
+  // model every TATAS lock in the library uses), while holding the lock —
+  // which is what makes the centralized protocol's serialization visible
+  // in virtual time.
   void commit_lock();
   void commit_unlock() noexcept;
 
@@ -198,7 +247,15 @@ class Engine {
   std::vector<std::atomic<std::uint64_t>> table_;
   std::atomic<std::uint64_t> gvc_{0};
   std::atomic<bool> commit_locked_{false};
+  std::atomic<int> commit_waiters_{0};
   std::atomic<int> active_rots_{0};
+  // Number of threads currently inside a publish window; lets the drain
+  // skip the flag scan entirely on the (overwhelmingly common) idle path.
+  std::atomic<std::uint64_t> publish_count_{0};
+  // Aggregate counters for paths that may run on threads without a dense
+  // id (nontx publishes); bumped only on contended/waiting rounds.
+  std::atomic<std::uint64_t> nontx_retries_{0};
+  std::atomic<std::uint64_t> drains_{0};
   std::vector<std::unique_ptr<Descriptor>> descriptors_;
 
   static std::atomic<Engine*> g_current;

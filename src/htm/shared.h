@@ -11,12 +11,15 @@
 // there is no per-access synchronization, which is the whole point of
 // SpRWL's uninstrumented readers.
 //
-// store()/cas() outside a transaction are strong-isolation accesses: they
-// serialize with commits and invalidate the line in live transactions'
-// read sets (what cache coherence does on real HTM). That is exactly the
-// behaviour SpRWL's safety argument needs for the reader state flags and
-// the SGL word, and it is also what makes SGL-fallback writers' plain
-// stores abort conflicting transactions.
+// store()/cas() outside a transaction are strong-isolation accesses: a
+// lock-free publish cycle on the owning line's versioned lock that bumps
+// the line version — invalidating the line in live transactions' read sets
+// — and drains any commit already past validation (what cache coherence
+// does on real HTM). Stores to different lines never serialize with each
+// other or with disjoint commits. That is exactly the behaviour SpRWL's
+// safety argument needs for the reader state flags and the SGL word, and
+// it is also what makes SGL-fallback writers' plain stores abort
+// conflicting transactions.
 #pragma once
 
 #include <atomic>

@@ -77,5 +77,60 @@ TEST(Args, BothProfileMatchesEverything) {
   EXPECT_TRUE(a.want_profile("power8"));
 }
 
+TEST(JsonWriter, ObjectsArraysAndScalars) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("engine_ops");
+  j.key("threads").value(8);
+  j.key("ok").value(true);
+  j.key("ratio").value(2.5);
+  j.key("rows").begin_array();
+  j.begin_object().key("n").value(std::uint64_t{1}).end_object();
+  j.begin_object().key("n").value(std::uint64_t{2}).end_object();
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"bench\":\"engine_ops\",\"threads\":8,\"ok\":true,"
+            "\"ratio\":2.5,\"rows\":[{\"n\":1},{\"n\":2}]}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter j;
+  j.begin_array();
+  j.value("a\"b\\c\nd\te\r");
+  j.value(std::string(1, '\x01'));
+  j.end_array();
+  EXPECT_EQ(j.str(), "[\"a\\\"b\\\\c\\nd\\te\\r\",\"\\u0001\"]");
+}
+
+TEST(JsonWriter, EmptyContainersAndNestedArrays) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("empty_obj").begin_object().end_object();
+  j.key("empty_arr").begin_array().end_array();
+  j.key("nested").begin_array();
+  j.begin_array().value(1).value(2).end_array();
+  j.begin_array().end_array();
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"empty_obj\":{},\"empty_arr\":[],\"nested\":[[1,2],[]]}");
+}
+
+TEST(JsonWriter, WritesFile) {
+  JsonWriter j;
+  j.begin_object().key("x").value(7).end_object();
+  const std::string path =
+      testing::TempDir() + "/sprwl_jsonwriter_test.json";
+  ASSERT_TRUE(j.write_file(path.c_str()));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "{\"x\":7}");
+}
+
 }  // namespace
 }  // namespace sprwl::bench

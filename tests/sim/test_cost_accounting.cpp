@@ -50,8 +50,24 @@ TEST(CostAccounting, CommittedTransactionChargesBeginBodyCommit) {
     });
     elapsed = platform::now() - t0;
   });
+  // The commit publishes one written line: its publish window costs
+  // line_publish on top of the fixed commit cost.
   EXPECT_EQ(elapsed, g_costs.tx_begin + g_costs.load + g_costs.store +
-                         g_costs.tx_commit);
+                         g_costs.tx_commit + g_costs.line_publish);
+}
+
+TEST(CostAccounting, ReadOnlyTransactionChargesNoPublishWindow) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  htm::Shared<std::uint64_t> cell;
+  sim::Simulator sim;
+  std::uint64_t elapsed = 0;
+  sim.run(1, [&](int) {
+    const std::uint64_t t0 = platform::now();
+    engine.try_transaction([&] { (void)cell.load(); });
+    elapsed = platform::now() - t0;
+  });
+  EXPECT_EQ(elapsed, g_costs.tx_begin + g_costs.load + g_costs.tx_commit);
 }
 
 TEST(CostAccounting, AbortedTransactionChargesAbortPenalty) {
@@ -92,10 +108,44 @@ TEST(CostAccounting, StrongIsolationStoreCostsOneStore) {
   std::uint64_t elapsed = 0;
   sim.run(1, [&](int) {
     const std::uint64_t t0 = platform::now();
-    flag.store(1);  // engine-serialized, but charged as one store
+    flag.store(1);  // one store plus the line's publish window
     elapsed = platform::now() - t0;
   });
-  EXPECT_EQ(elapsed, g_costs.store);
+  EXPECT_EQ(elapsed, g_costs.store + g_costs.line_publish);
+}
+
+TEST(CostAccounting, FailedNonTxCasCostsOneLoad) {
+  // Regression: the failure path of a strong-isolation CAS must be a plain
+  // load — no RMW charge, no publish window, no lock traffic.
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  htm::Shared<std::uint64_t> word{5};
+  sim::Simulator sim;
+  std::uint64_t elapsed = 0;
+  bool ok = true;
+  sim.run(1, [&](int) {
+    const std::uint64_t t0 = platform::now();
+    ok = word.cas(7, 9);
+    elapsed = platform::now() - t0;
+  });
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(elapsed, g_costs.load);
+}
+
+TEST(CostAccounting, SuccessfulNonTxCasCostsLoadCasPublish) {
+  htm::Engine engine{htm::EngineConfig{}};
+  htm::EngineScope scope(engine);
+  htm::Shared<std::uint64_t> word{5};
+  sim::Simulator sim;
+  std::uint64_t elapsed = 0;
+  bool ok = false;
+  sim.run(1, [&](int) {
+    const std::uint64_t t0 = platform::now();
+    ok = word.cas(5, 9);
+    elapsed = platform::now() - t0;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(elapsed, g_costs.load + g_costs.cas + g_costs.line_publish);
 }
 
 }  // namespace
