@@ -1,0 +1,229 @@
+// Chaos bench — graceful degradation under injected faults.
+//
+// Runs the seeded chaos harness (src/fault/chaos.h) over SpRWL, TLE and the
+// pthread rwlock baseline under three fault regimes:
+//   none   — no injected faults (baseline);
+//   chaos  — FaultPlan::chaos(seed): preemptions biased at reader bodies,
+//            an interrupt storm, capacity jitter, a syscalling reader;
+//   storm  — a hard interrupt storm over the whole run plus a reader that
+//            syscalls in every section (TLE's worst case; SpRWL's
+//            uninstrumented readers shrug it off).
+//
+// Every run checks the chaos invariants (exclusion / no lost updates / no
+// torn reads / progress watchdog); any violation fails the bench. The table
+// shows throughput plus the commit-mode and escalation accounting; the same
+// data lands in BENCH_chaos.json.
+//
+// Expected shape: under "storm", SpRWL's read throughput degrades mildly
+// (readers never abort; writers back off and occasionally escalate), while
+// TLE collapses onto its global lock (GL% of sections near 100).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support/bench_common.h"
+#include "common/costs.h"
+#include "core/sprwl.h"
+#include "fault/chaos.h"
+#include "fault/fault.h"
+#include "htm/engine.h"
+#include "locks/posix_rwlock.h"
+#include "locks/tle.h"
+
+namespace sprwl::bench {
+namespace {
+
+// Matched to the actual virtual-time length of a run (~1.1M cycles for the
+// 8x400-op scenario) so the planned fault events land inside the run.
+constexpr std::uint64_t kHorizon = 1'200'000;
+
+fault::FaultPlan make_plan(const std::string& regime, std::uint64_t seed,
+                           int threads) {
+  if (regime == "chaos") return fault::FaultPlan::chaos(seed, threads, kHorizon);
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  if (regime == "storm") {
+    plan.storm.from = 0;
+    plan.storm.until = ~0ULL;
+    plan.storm.peak_rate = 0.6;
+    fault::SyscallSpec sys;  // tid 1 syscalls inside every read section
+    sys.tid = 1;
+    plan.syscalls.push_back(sys);
+  }
+  return plan;
+}
+
+struct Row {
+  std::string lock;
+  std::string regime;
+  std::uint64_t seed = 0;
+  fault::ChaosResult r;
+  double sections_per_sec = 0;
+};
+
+template <class Lock, class MakeLock>
+void run_series(const char* lock_name, MakeLock&& make_lock,
+                const std::string& regime, std::uint64_t base_seed, int runs,
+                std::vector<Row>& rows, bool& all_ok) {
+  fault::ChaosConfig cfg;
+  cfg.threads = 8;
+  cfg.writers = 2;
+  cfg.ops_per_thread = 400;
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    cfg.seed = seed;
+    htm::Engine engine;
+    auto lock = make_lock(cfg.threads);
+    const fault::FaultPlan plan = make_plan(regime, seed, cfg.threads);
+    Row row;
+    row.lock = lock_name;
+    row.regime = regime;
+    row.seed = seed;
+    row.r = fault::run_chaos(*lock, engine, cfg, plan);
+    const double secs = static_cast<double>(row.r.final_time) /
+                        (g_costs.ghz * 1e9);
+    const auto sections = static_cast<double>(row.r.reads + row.r.writes);
+    row.sections_per_sec = secs > 0 ? sections / secs : 0;
+    if (!row.r.invariants_ok()) {
+      all_ok = false;
+      std::printf("INVARIANT VIOLATION: %s/%s seed=%llu completed=%d torn=%llu "
+                  "lost=%llu\n",
+                  lock_name, regime.c_str(),
+                  static_cast<unsigned long long>(seed), row.r.completed,
+                  static_cast<unsigned long long>(row.r.torn_reads),
+                  static_cast<unsigned long long>(row.r.lost_updates));
+    }
+    rows.push_back(std::move(row));
+  }
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-8s %-6s %6s | %10s | %5s %5s %5s %5s | %6s %6s %6s | %4s %4s\n",
+              "lock", "faults", "seed", "sect/s", "HTM%", "GL%", "Unin%",
+              "Pess%", "fback", "stall", "lemng", "pre", "sysc");
+  for (const Row& row : rows) {
+    const locks::OpModeCounts all = [&] {
+      locks::OpModeCounts m = row.r.lock_stats.reads;
+      m += row.r.lock_stats.writes;
+      return m;
+    }();
+    const double total = static_cast<double>(all.total());
+    const auto pct = [&](std::uint64_t n) {
+      return total > 0 ? 100.0 * static_cast<double>(n) / total : 0.0;
+    };
+    std::printf(
+        "%-8s %-6s %6llu | %10.3e | %5.1f %5.1f %5.1f %5.1f | %6llu %6llu "
+        "%6llu | %4llu %4llu\n",
+        row.lock.c_str(), row.regime.c_str(),
+        static_cast<unsigned long long>(row.seed), row.sections_per_sec,
+        pct(all.htm), pct(all.gl), pct(all.unins), pct(all.pessimistic),
+        static_cast<unsigned long long>(row.r.lock_stats.escalations.fallbacks()),
+        static_cast<unsigned long long>(
+            row.r.lock_stats.escalations.stalled_reader),
+        static_cast<unsigned long long>(
+            row.r.lock_stats.escalations.lemming_avoided),
+        static_cast<unsigned long long>(row.r.faults.preemptions),
+        static_cast<unsigned long long>(row.r.faults.syscalls));
+  }
+}
+
+void write_json(const std::vector<Row>& rows, bool all_ok) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("chaos_faults");
+  j.key("invariants_ok").value(all_ok);
+  j.key("rows").begin_array();
+  for (const Row& row : rows) {
+    const fault::ChaosResult& r = row.r;
+    j.begin_object();
+    j.key("lock").value(row.lock);
+    j.key("faults").value(row.regime);
+    j.key("seed").value(row.seed);
+    j.key("completed").value(r.completed);
+    j.key("sections_per_sec").value(row.sections_per_sec);
+    j.key("reads").value(r.reads);
+    j.key("writes").value(r.writes);
+    j.key("torn_reads").value(r.torn_reads);
+    j.key("lost_updates").value(r.lost_updates);
+    j.key("final_time").value(r.final_time);
+    j.key("modes").begin_object();
+    locks::OpModeCounts all = r.lock_stats.reads;
+    all += r.lock_stats.writes;
+    j.key("htm").value(all.htm);
+    j.key("gl").value(all.gl);
+    j.key("unins").value(all.unins);
+    j.key("pessimistic").value(all.pessimistic);
+    j.end_object();
+    j.key("aborts").begin_object();
+    j.key("conflict").value(r.lock_stats.aborts.conflict);
+    j.key("capacity").value(r.lock_stats.aborts.capacity);
+    j.key("lock_busy").value(r.lock_stats.aborts.explicit_lock_busy);
+    j.key("reader").value(r.lock_stats.aborts.explicit_reader);
+    j.key("spurious").value(r.lock_stats.aborts.spurious);
+    j.end_object();
+    j.key("escalations").begin_object();
+    j.key("retry_exhausted").value(r.lock_stats.escalations.retry_exhausted);
+    j.key("capacity").value(r.lock_stats.escalations.capacity);
+    j.key("stalled_reader").value(r.lock_stats.escalations.stalled_reader);
+    j.key("budget_exhausted").value(r.lock_stats.escalations.budget_exhausted);
+    j.key("lemming_avoided").value(r.lock_stats.escalations.lemming_avoided);
+    j.end_object();
+    j.key("injected").begin_object();
+    j.key("preemptions").value(r.faults.preemptions);
+    j.key("syscalls").value(r.faults.syscalls);
+    j.key("capacity_jitters").value(r.faults.capacity_jitters);
+    j.key("peak_abort_rate").value(r.faults.peak_applied_rate);
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  if (j.write_file("BENCH_chaos.json")) {
+    std::printf("\nwrote BENCH_chaos.json\n");
+  }
+}
+
+}  // namespace
+}  // namespace sprwl::bench
+
+int main(int argc, char** argv) {
+  using namespace sprwl::bench;
+  const Args args = Args::parse(argc, argv);
+  const std::uint64_t base_seed = sprwl::fault::env_seed(args.seed);
+  const int runs = args.full ? 8 : 3;
+
+  std::printf("Chaos bench — seeded fault injection (base seed %llu, %d "
+              "seeds per cell; SPRWL_SEED overrides)\n\n",
+              static_cast<unsigned long long>(base_seed), runs);
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+  for (const char* regime : {"none", "chaos", "storm"}) {
+    run_series<sprwl::core::SpRWLock>(
+        "SpRWL",
+        [](int threads) {
+          sprwl::core::Config cfg;
+          cfg.max_threads = threads;
+          return std::make_unique<sprwl::core::SpRWLock>(cfg);
+        },
+        regime, base_seed, runs, rows, all_ok);
+    run_series<sprwl::locks::TLELock>(
+        "TLE",
+        [](int threads) {
+          sprwl::locks::TLELock::Config cfg;
+          cfg.max_threads = threads;
+          return std::make_unique<sprwl::locks::TLELock>(cfg);
+        },
+        regime, base_seed, runs, rows, all_ok);
+    run_series<sprwl::locks::PosixRWLock>(
+        "RWL",
+        [](int threads) {
+          return std::make_unique<sprwl::locks::PosixRWLock>(threads);
+        },
+        regime, base_seed, runs, rows, all_ok);
+  }
+  print_rows(rows);
+  write_json(rows, all_ok);
+  std::printf("invariants: %s\n", all_ok ? "OK" : "VIOLATED");
+  return all_ok ? 0 : 1;
+}

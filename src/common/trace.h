@@ -34,10 +34,16 @@ enum class Event : std::uint8_t {
   kWriterWait,         ///< writer-sync delay began (Alg. 3)
   kWriteSglEnter,      ///< fallback path taken; arg = attempts used
   kWriteSglExit,
+  kWriterBackoff,      ///< exponential retry backoff; arg = backoff cycles
+  kStalledReaderEscalate,  ///< reader-stall watchdog fired; arg = attempts
+  kLemmingAvoided,     ///< lock-busy abort forgiven (no retry burned)
   // Tracking-mode (adaptive)
   kModeFlipToSnzi,
   kModeFlipToFlags,
   kModeTransitionDone,
+  // Fault injection (src/fault)
+  kFaultPreempt,       ///< fiber descheduled; arg = duration in cycles
+  kFaultSyscall,       ///< modelled syscall fired at a checkpoint
 };
 
 const char* to_string(Event e) noexcept;
@@ -124,9 +130,14 @@ inline const char* to_string(Event e) noexcept {
     case Event::kWriterWait: return "writer-wait";
     case Event::kWriteSglEnter: return "write-sgl-enter";
     case Event::kWriteSglExit: return "write-sgl-exit";
+    case Event::kWriterBackoff: return "writer-backoff";
+    case Event::kStalledReaderEscalate: return "stalled-reader-escalate";
+    case Event::kLemmingAvoided: return "lemming-avoided";
     case Event::kModeFlipToSnzi: return "mode-flip-to-snzi";
     case Event::kModeFlipToFlags: return "mode-flip-to-flags";
     case Event::kModeTransitionDone: return "mode-transition-done";
+    case Event::kFaultPreempt: return "fault-preempt";
+    case Event::kFaultSyscall: return "fault-syscall";
   }
   return "?";
 }

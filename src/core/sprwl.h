@@ -31,6 +31,7 @@
 // identified by the integer cs_id passed to read()/write().
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -44,6 +45,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "common/trace.h"
+#include "fault/fault.h"
 #include "htm/engine.h"
 #include "htm/shared.h"
 #include "locks/sgl.h"
@@ -90,6 +92,28 @@ struct Config {
   int snzi_levels = 0;
   /// Expected duration, in cycles, used before the first sample arrives.
   std::uint64_t bootstrap_estimate = 500;
+
+  // --- graceful degradation under adverse schedules (DESIGN.md §8) --------
+  /// Exponential backoff between retries after conflict/spurious aborts
+  /// (abort storms): first delay, doubling up to the cap. Reader aborts use
+  /// writer_wait (Alg. 3) instead; lock-busy aborts wait for the SGL.
+  /// base = 0 disables backoff.
+  std::uint64_t backoff_base_cycles = 120;
+  std::uint64_t backoff_max_cycles = 8'192;
+  /// Total virtual time a writer may spend retrying HTM (attempts, waits
+  /// and backoffs) before escalating to the SGL. 0 = unbounded. Far above
+  /// any healthy retry sequence; bounds pathological abort storms.
+  std::uint64_t writer_retry_budget_cycles = 8'000'000;
+  /// Stalled-reader watchdog: a writer continuously aborted by readers for
+  /// longer than max(slack, multiplier * sampled reader EMA) stops burning
+  /// transactions and escalates to the (versioned) SGL — the reader is
+  /// presumed descheduled with its flag raised. multiplier <= 0 disables.
+  double reader_stall_multiplier = 16.0;
+  std::uint64_t reader_stall_slack_cycles = 64'000;
+  /// Lemming-effect avoidance: aborts caused purely by the busy fallback
+  /// lock do not consume retry attempts, so one writer on the SGL cannot
+  /// cascade the whole writer population onto it.
+  bool lemming_avoidance = true;
 
   static Config variant(SchedulingVariant v, int max_threads) {
     Config c;
@@ -190,6 +214,10 @@ class SpRWLock {
       }
     }
 
+    // Dangerous window: the flag is raised but the section has not run yet.
+    // A preemption injected here is what the stalled-reader watchdog and
+    // the chaos harness exercise.
+    fault::checkpoint(fault::InjectPoint::kReadEnter);
     trace::emit(trace::Event::kReadUninsEnter);
     const std::uint64_t cs_start = platform::now();
     {
@@ -199,9 +227,12 @@ class SpRWLock {
         trace::emit(trace::Event::kReadUninsExit);
       });
       std::forward<F>(f)();
+      fault::checkpoint(fault::InjectPoint::kReadExit);
     }
     if (tid == cfg_.sampler_tid) {
       read_ema_[ema_slot(cs_id)]->record(platform::now() - cs_start);
+      read_estimate_hint_.store(read_ema_[ema_slot(cs_id)]->estimate(),
+                                std::memory_order_relaxed);
       if (cfg_.adaptive_tracking) maybe_adapt(cs_id);
     }
     modes_.record_read(locks::CommitMode::kUnins);
@@ -226,12 +257,36 @@ class SpRWLock {
     ScopeExit clear_flag([&] {
       if (flagged) state_[static_cast<std::size_t>(tid)].store(kIdle);
     });
+    fault::checkpoint(fault::InjectPoint::kWriteEnter);
+
+    // Escalation to the (versioned) SGL; `why` records which degradation
+    // path fired so chaos runs can tell retry exhaustion from a stalled
+    // reader or an exhausted budget.
+    const auto escalate = [&](locks::Escalation why, int attempts) {
+      modes_.record_escalation(why);
+      trace::emit(why == locks::Escalation::kStalledReader
+                      ? trace::Event::kStalledReaderEscalate
+                      : trace::Event::kWriteSglEnter,
+                  static_cast<std::uint32_t>(attempts));
+      fallback_write(cs_id, tid, f);
+      trace::emit(trace::Event::kWriteSglExit);
+      modes_.record_write(locks::CommitMode::kGl);
+    };
 
     int attempts = 0;
+    std::uint64_t backoff = 0;       // current exponential delay
+    std::uint64_t retry_start = 0;   // first attempt of the current streak
+    std::uint64_t stall_since = 0;   // first reader abort of the streak
+    bool retrying = false;
+    bool stalled = false;
     for (;;) {
       while (gl_.is_locked()) platform::pause();
       ++attempts;
       const std::uint64_t attempt_start = platform::now();
+      if (!retrying) {
+        retrying = true;
+        retry_start = attempt_start;
+      }
       const htm::TxStatus status = engine->try_transaction([&] {
         if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);  // subscription
         f();
@@ -246,25 +301,75 @@ class SpRWLock {
         modes_.record_write(locks::CommitMode::kHtm);
         break;
       }
+      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
+      const bool lock_busy = status.cause == htm::AbortCause::kExplicit &&
+                             status.code == kCodeLockBusy;
       const bool reader_abort = status.cause == htm::AbortCause::kExplicit &&
                                 status.code == kCodeReader;
       if (reader_abort) {
         ++reader_aborts_[static_cast<std::size_t>(tid)].value;
         trace::emit(trace::Event::kWriteAbortReader);
       }
-      if (status.cause == htm::AbortCause::kCapacity || attempts >= cfg_.max_retries) {
-        trace::emit(trace::Event::kWriteSglEnter,
-                    static_cast<std::uint32_t>(attempts));
-        fallback_write(cs_id, tid, f);
-        trace::emit(trace::Event::kWriteSglExit);
-        modes_.record_write(locks::CommitMode::kGl);
+      if (status.cause == htm::AbortCause::kCapacity) {
+        // Retrying cannot help a section that does not fit; fall back now.
+        escalate(locks::Escalation::kCapacity, attempts);
         break;
       }
-      if (cfg_.writer_sync && reader_abort) {
-        trace::emit(trace::Event::kWriterWait);
-        writer_wait(cs_id, tid);
+      if (lock_busy && cfg_.lemming_avoidance) {
+        // The abort says nothing about *this* section — the fallback lock
+        // was simply held. Forgive the attempt (and restart the budget
+        // clock: waiting for the SGL is not retrying) so one SGL writer
+        // does not drag the whole population onto the global lock.
+        --attempts;
+        retrying = false;
+        stalled = false;
+        modes_.record_escalation(locks::Escalation::kLemmingAvoided);
+        trace::emit(trace::Event::kLemmingAvoided);
+        continue;
+      }
+      if (attempts >= cfg_.max_retries) {
+        escalate(locks::Escalation::kRetryExhausted, attempts);
+        break;
+      }
+      const std::uint64_t now = platform::now();
+      if (cfg_.writer_retry_budget_cycles != 0 &&
+          now - retry_start > cfg_.writer_retry_budget_cycles) {
+        escalate(locks::Escalation::kBudgetExhausted, attempts);
+        break;
+      }
+      if (reader_abort) {
+        if (!stalled) {
+          stalled = true;
+          stall_since = attempt_start;
+        }
+        const std::uint64_t threshold = stall_threshold();
+        if (threshold != 0 && now - stall_since > threshold) {
+          // The reader blocking us has been active far longer than readers
+          // ever run: presume it descheduled with its flag raised and stop
+          // burning transactions against it.
+          escalate(locks::Escalation::kStalledReader, attempts);
+          break;
+        }
+        if (cfg_.writer_sync) {
+          trace::emit(trace::Event::kWriterWait);
+          writer_wait(cs_id, tid);
+        }
+      } else {
+        stalled = false;
+        // Conflict or interrupt: back off exponentially so an abort storm
+        // degrades throughput instead of melting it.
+        if (cfg_.backoff_base_cycles != 0) {
+          backoff = backoff == 0
+                        ? cfg_.backoff_base_cycles
+                        : std::min<std::uint64_t>(backoff * 2,
+                                                  cfg_.backoff_max_cycles);
+          trace::emit(trace::Event::kWriterBackoff,
+                      static_cast<std::uint32_t>(backoff));
+          platform::wait_until(now + backoff);
+        }
       }
     }
+    fault::checkpoint(fault::InjectPoint::kWriteExit);
   }
 
   locks::LockStats stats() const { return modes_.snapshot(); }
@@ -306,6 +411,19 @@ class SpRWLock {
     return e != 0 ? e : cfg_.bootstrap_estimate;
   }
 
+  /// How long a writer tolerates consecutive reader aborts before presuming
+  /// the blocking reader is stalled (descheduled with its flag raised).
+  /// Derived from the observed reader duration: a healthy reader finishes
+  /// within a few EMAs, so waiting `reader_stall_multiplier` times that is
+  /// evidence the reader is not running. 0 disables the watchdog.
+  std::uint64_t stall_threshold() const {
+    if (cfg_.reader_stall_multiplier <= 0.0) return 0;
+    const auto scaled = static_cast<std::uint64_t>(
+        cfg_.reader_stall_multiplier *
+        static_cast<double>(read_estimate_hint_.load(std::memory_order_relaxed)));
+    return std::max(cfg_.reader_stall_slack_cycles, scaled);
+  }
+
   /// §3.4: optimistic one-shot HTM execution of a reader.
   template <class F>
   bool try_reader_htm(F&& f) {
@@ -320,6 +438,7 @@ class SpRWLock {
         f();
       });
       if (status.committed()) return true;
+      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
       if (status.cause == htm::AbortCause::kCapacity ||
           attempts >= cfg_.reader_htm_retries) {
         return false;
@@ -538,6 +657,9 @@ class SpRWLock {
   htm::Shared<std::uint64_t> transition_;  ///< nonzero: writers check both
   std::unique_ptr<DurationEma> read_ema_[kEmaSlots];
   std::unique_ptr<DurationEma> write_ema_[kEmaSlots];
+  /// Latest sampled reader-duration EMA, published by the sampler thread for
+  /// the stalled-reader watchdog (which runs on *writer* threads).
+  std::atomic<std::uint64_t> read_estimate_hint_{0};
   locks::ModeRecorder modes_;
 };
 

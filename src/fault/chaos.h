@@ -1,0 +1,152 @@
+// Chaos harness: seeded random fault scenarios with invariant checking.
+//
+// Runs a read/write workload over a small array of padded shared cells
+// under any lock of the library, with a FaultPlan injected, and checks the
+// three properties a correct lock must keep *under any schedule*:
+//
+//  * mutual exclusion / no lost updates — every committed write increments
+//    all cells by one, so the final value must equal the number of
+//    committed write sections;
+//  * reader isolation — a reader observing two cells with different values
+//    saw a torn update;
+//  * progress — the run must finish before the virtual-time watchdog
+//    (sim::SimConfig::max_virtual_time); a deadlock or livelock surfaces
+//    deterministically as completed == false instead of a hung test.
+//
+// The harness is deliberately lock-agnostic (same shape as the lock-safety
+// typed tests) so SpRWL, TLE and the pessimistic baselines run the exact
+// same schedules — which is what lets the chaos bench show SpRWL readers
+// riding out an interrupt storm that collapses TLE onto its fallback lock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "locks/stats.h"
+#include "sim/simulator.h"
+
+namespace sprwl::fault {
+
+struct ChaosConfig {
+  int threads = 8;
+  /// The last `writers` thread ids update; the rest read. Keeping tid 0 a
+  /// reader keeps SpRWL's sampler on the reader EMA, which the
+  /// stalled-reader watchdog derives its threshold from.
+  int writers = 2;
+  int ops_per_thread = 150;
+  std::uint64_t seed = 1;
+  std::uint64_t reader_work = 800;   ///< cycles of work inside a read section
+  std::uint64_t writer_work = 300;   ///< cycles of work inside an update
+  std::uint64_t between_ops = 400;   ///< max private work between sections
+  /// Progress watchdog: the whole scenario must finish within this much
+  /// virtual time or the run is reported as not completed.
+  std::uint64_t max_virtual_time = 4ULL * 1000 * 1000 * 1000;
+};
+
+struct ChaosResult {
+  bool completed = false;          ///< progress watchdog verdict
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t torn_reads = 0;    ///< isolation violations observed
+  std::uint64_t lost_updates = 0;  ///< committed writes missing from memory
+  std::uint64_t final_value = 0;
+  std::uint64_t final_time = 0;    ///< virtual time of the last fiber
+  FaultStats faults;
+  locks::LockStats lock_stats;
+  htm::EngineStats engine_stats;
+
+  bool invariants_ok() const noexcept {
+    return completed && torn_reads == 0 && lost_updates == 0;
+  }
+};
+
+/// Runs one chaos scenario. Deterministic given (cfg.seed, plan).
+template <class Lock>
+ChaosResult run_chaos(Lock& lock, htm::Engine& engine, const ChaosConfig& cfg,
+                      const FaultPlan& plan) {
+  struct alignas(64) Cell {
+    htm::Shared<std::uint64_t> v;
+  };
+  constexpr std::size_t kCells = 4;
+  std::vector<Cell> cells(kCells);
+  std::vector<std::uint64_t> commits(static_cast<std::size_t>(cfg.threads), 0);
+  std::vector<std::uint64_t> torn(static_cast<std::size_t>(cfg.threads), 0);
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(cfg.threads), 0);
+
+  sim::SimConfig scfg;
+  scfg.max_virtual_time = cfg.max_virtual_time;
+  sim::Simulator sim(scfg);
+  FaultInjector injector(plan, &sim, &engine);
+  FaultScope fscope(injector);
+  // Installed once around the whole run (not per fiber): fibers finish at
+  // different virtual times, and a per-fiber scope would uninstall the
+  // engine under the feet of the fibers still running.
+  htm::EngineScope escope(engine);
+
+  engine.reset_stats();
+  lock.reset_stats();
+
+  ChaosResult res;
+  try {
+    sim.run(cfg.threads, [&](int tid) {
+      Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tid));
+      const auto me = static_cast<std::size_t>(tid);
+      const bool is_writer = tid >= cfg.threads - cfg.writers;
+      for (int i = 0; i < cfg.ops_per_thread; ++i) {
+        if (is_writer) {
+          lock.write(1, [&] {
+            checkpoint(InjectPoint::kWriteBody);
+            const std::uint64_t v = cells[0].v.load() + 1;
+            platform::advance(cfg.writer_work);
+            for (std::size_t c = 0; c < kCells; ++c) cells[c].v.store(v);
+          });
+          ++commits[me];  // outside the body: counted once per commit
+        } else {
+          // Assigned (not accumulated) inside the body so aborted HTM
+          // attempts of the same section cannot double-count.
+          std::uint64_t torn_here = 0;
+          lock.read(0, [&] {
+            torn_here = 0;
+            checkpoint(InjectPoint::kReadBody);
+            const std::uint64_t a = cells[0].v.load();
+            platform::advance(cfg.reader_work);
+            for (std::size_t c = 1; c < kCells; ++c) {
+              if (cells[c].v.load() != a) ++torn_here;
+            }
+          });
+          torn[me] += torn_here;
+        }
+        ++ops[me];
+        platform::advance(1 + rng.next_below(cfg.between_ops));
+      }
+    });
+    res.completed = true;
+  } catch (const sim::SimTimeLimitError&) {
+    res.completed = false;  // the progress watchdog converts hangs to data
+  }
+
+  for (int t = 0; t < cfg.threads; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    res.torn_reads += torn[i];
+    res.writes += commits[i];
+    if (t < cfg.threads - cfg.writers) res.reads += ops[i];
+  }
+  res.final_value = cells[0].v.raw_load();
+  for (std::size_t c = 1; c < kCells; ++c) {
+    if (cells[c].v.raw_load() != res.final_value) ++res.torn_reads;
+  }
+  res.lost_updates =
+      res.writes > res.final_value ? res.writes - res.final_value : 0;
+  res.final_time = sim.final_time();
+  res.faults = injector.stats();
+  res.lock_stats = lock.stats();
+  res.engine_stats = engine.stats();
+  return res;
+}
+
+}  // namespace sprwl::fault

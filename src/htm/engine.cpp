@@ -27,6 +27,7 @@ const char* to_string(AbortCause c) noexcept {
 
 Engine::Engine(EngineConfig cfg)
     : cfg_(cfg),
+      spurious_rate_(cfg.spurious_abort_rate),
       table_mask_((1ULL << cfg.table_bits) - 1),
       table_(1ULL << cfg.table_bits) {
   if (cfg.max_threads <= 0) throw std::invalid_argument("max_threads must be > 0");
@@ -37,8 +38,23 @@ Engine::Engine(EngineConfig cfg)
   for (int i = 0; i < cfg.max_threads; ++i) {
     auto d = std::make_unique<Descriptor>();
     d->rng = Rng(splitmix64(seed_state));
+    d->cap_read_lines.store(cfg.capacity.read_lines, std::memory_order_relaxed);
+    d->cap_write_lines.store(cfg.capacity.write_lines, std::memory_order_relaxed);
     descriptors_.push_back(std::move(d));
   }
+}
+
+void Engine::set_thread_capacity(int tid, std::uint32_t read_lines,
+                                 std::uint32_t write_lines) {
+  if (tid < 0 || tid >= cfg_.max_threads) return;
+  Descriptor& d = *descriptors_[static_cast<std::size_t>(tid)];
+  d.cap_read_lines.store(read_lines, std::memory_order_relaxed);
+  d.cap_write_lines.store(write_lines, std::memory_order_relaxed);
+}
+
+void Engine::syscall(std::uint64_t cost_cycles) {
+  if (in_tx()) abort_internal(AbortCause::kSpurious);
+  platform::advance(cost_cycles);
 }
 
 Engine::~Engine() {
@@ -70,8 +86,8 @@ void Engine::abort_internal(AbortCause cause, std::uint8_t code) {
 }
 
 void Engine::maybe_spurious(Descriptor& d) {
-  if (cfg_.spurious_abort_rate > 0.0 &&
-      d.rng.next_bool(cfg_.spurious_abort_rate)) {
+  const double rate = spurious_rate_.load(std::memory_order_relaxed);
+  if (rate > 0.0 && d.rng.next_bool(rate)) {
     abort_internal(AbortCause::kSpurious);
   }
 }
@@ -134,7 +150,7 @@ std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
     return val;
   }
 
-  if (d.reads.size() + 1 > cfg_.capacity.read_lines)
+  if (d.reads.size() + 1 > d.cap_read_lines.load(std::memory_order_relaxed))
     abort_internal(AbortCause::kCapacity);
 
   for (;;) {
@@ -170,7 +186,7 @@ void Engine::tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
   bool line_inserted = false;
   d.write_lines.get_or_insert(line, 1, line_inserted);
   if (line_inserted) {
-    if (d.write_lines.size() > cfg_.capacity.write_lines) {
+    if (d.write_lines.size() > d.cap_write_lines.load(std::memory_order_relaxed)) {
       abort_internal(AbortCause::kCapacity);
     }
     d.write_line_list.push_back(line);

@@ -156,6 +156,28 @@ class Engine {
   bool nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
                  std::uint64_t desired);
 
+  // --- fault-injection surface (src/fault) --------------------------------
+  /// Dynamically overrides EngineConfig::spurious_abort_rate; the fault
+  /// injector uses this to ramp interrupt storms over a virtual-time window.
+  void set_spurious_abort_rate(double rate) noexcept {
+    spurious_rate_.store(rate, std::memory_order_relaxed);
+  }
+  double spurious_abort_rate() const noexcept {
+    return spurious_rate_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread capacity override (fault injection: SMT pressure / cache
+  /// pollution jitter). Passing the config profile restores the default.
+  void set_thread_capacity(int tid, std::uint32_t read_lines,
+                           std::uint32_t write_lines);
+
+  /// Models a syscall on the calling thread: hardware transactions cannot
+  /// survive a ring transition, so an in-flight transaction aborts (like an
+  /// interrupt, AbortCause::kSpurious); outside a transaction only the time
+  /// cost is charged. This is what forces HTM-first readers onto their
+  /// uninstrumented fallback.
+  void syscall(std::uint64_t cost_cycles);
+
   EngineStats stats() const;
   void reset_stats();
 
@@ -188,6 +210,10 @@ class Engine {
     // commit holds the line; doubles as the rollback image of the lock word.
     std::vector<std::uint64_t> locked_versions;
     Rng rng;
+    // Per-thread capacity limits, in distinct lines; normally the config
+    // profile, overridden by fault injection (capacity jitter).
+    std::atomic<std::uint32_t> cap_read_lines{~0u};
+    std::atomic<std::uint32_t> cap_write_lines{~0u};
     // Per-thread event counters (aggregated by Engine::stats()).
     std::uint64_t commits_htm = 0, commits_rot = 0;
     std::uint64_t ab_conflict = 0, ab_capacity = 0, ab_explicit = 0, ab_spurious = 0;
@@ -243,6 +269,7 @@ class Engine {
   void commit_unlock() noexcept;
 
   EngineConfig cfg_;
+  std::atomic<double> spurious_rate_;
   std::uint64_t table_mask_;
   std::vector<std::atomic<std::uint64_t>> table_;
   std::atomic<std::uint64_t> gvc_{0};

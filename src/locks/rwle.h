@@ -103,8 +103,13 @@ class RWLELock {
         modes_.record_write(CommitMode::kHtm);
         return;
       }
-      if (status.cause == htm::AbortCause::kCapacity ||
-          attempts >= cfg_.htm_retries) {
+      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
+      if (status.cause == htm::AbortCause::kCapacity) {
+        modes_.record_escalation(Escalation::kCapacity);
+        break;
+      }
+      if (attempts >= cfg_.htm_retries) {
+        modes_.record_escalation(Escalation::kRetryExhausted);
         break;
       }
     }
@@ -124,8 +129,12 @@ class RWLELock {
         modes_.record_write(CommitMode::kRot);
         return;
       }
+      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
       commit_window_.store(false, std::memory_order_release);
-      if (rot_attempts >= cfg_.rot_retries) break;
+      if (rot_attempts >= cfg_.rot_retries) {
+        modes_.record_escalation(Escalation::kRetryExhausted);
+        break;
+      }
     }
 
     // --- pessimistic last resort (rare: ROT kept aborting) ------------------

@@ -11,11 +11,69 @@
 
 #include "common/cacheline.h"
 #include "common/platform.h"
+#include "htm/htm.h"
 
 namespace sprwl::locks {
 
 /// Mode in which one critical section completed.
 enum class CommitMode : std::uint8_t { kHtm, kRot, kGl, kUnins, kPessimistic };
+
+/// Why an HTM lock left its speculative path for the pessimistic fallback
+/// (or refused to, for kLemmingAvoided). Purely-pessimistic locks never
+/// escalate; their counters stay zero.
+enum class Escalation : std::uint8_t {
+  kRetryExhausted,   ///< burned the configured HTM retry budget
+  kCapacity,        ///< capacity abort: retrying cannot help, fall back now
+  kStalledReader,   ///< reader-stall watchdog fired (writer waited too long)
+  kBudgetExhausted,  ///< virtual-time retry budget exceeded (abort storm)
+  kLemmingAvoided,   ///< lock-busy abort forgiven: attempt not counted
+};
+
+/// Per-lock abort-cause breakdown. The engine keeps aggregate counters for
+/// every transaction in the process; these are the same causes attributed
+/// to *this lock's* critical sections, with explicit aborts split into the
+/// classes the paper reports (lock-subscription vs. active-reader).
+struct AbortBreakdown {
+  std::uint64_t conflict = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t explicit_lock_busy = 0;  ///< subscription found the GL held
+  std::uint64_t explicit_reader = 0;     ///< SpRWL/RW-LE "reader" abort class
+  std::uint64_t explicit_other = 0;
+  std::uint64_t spurious = 0;            ///< modelled interrupts / syscalls
+  std::uint64_t total() const noexcept {
+    return conflict + capacity + explicit_lock_busy + explicit_reader +
+           explicit_other + spurious;
+  }
+  AbortBreakdown& operator+=(const AbortBreakdown& o) noexcept {
+    conflict += o.conflict;
+    capacity += o.capacity;
+    explicit_lock_busy += o.explicit_lock_busy;
+    explicit_reader += o.explicit_reader;
+    explicit_other += o.explicit_other;
+    spurious += o.spurious;
+    return *this;
+  }
+};
+
+/// Escalation counters (graceful-degradation accounting; DESIGN.md §8).
+struct EscalationCounts {
+  std::uint64_t retry_exhausted = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t stalled_reader = 0;
+  std::uint64_t budget_exhausted = 0;
+  std::uint64_t lemming_avoided = 0;
+  std::uint64_t fallbacks() const noexcept {
+    return retry_exhausted + capacity + stalled_reader + budget_exhausted;
+  }
+  EscalationCounts& operator+=(const EscalationCounts& o) noexcept {
+    retry_exhausted += o.retry_exhausted;
+    capacity += o.capacity;
+    stalled_reader += o.stalled_reader;
+    budget_exhausted += o.budget_exhausted;
+    lemming_avoided += o.lemming_avoided;
+    return *this;
+  }
+};
 
 struct OpModeCounts {
   std::uint64_t htm = 0;
@@ -49,6 +107,8 @@ struct OpModeCounts {
 struct LockStats {
   OpModeCounts reads;
   OpModeCounts writes;
+  AbortBreakdown aborts;
+  EscalationCounts escalations;
 };
 
 /// Per-thread, cache-line-padded recorder; snapshot() aggregates. Recording
@@ -61,11 +121,47 @@ class ModeRecorder {
   void record_read(CommitMode m) { mine().reads.bump(m); }
   void record_write(CommitMode m) { mine().writes.bump(m); }
 
+  /// Attributes one failed HTM attempt to this lock. `lock_busy_code` and
+  /// `reader_code` are the lock's explicit-abort codes, used to split
+  /// explicit aborts into the classes the paper plots.
+  void record_abort(const htm::TxStatus& status, std::uint8_t lock_busy_code,
+                    std::uint8_t reader_code = 0) {
+    AbortBreakdown& b = mine().aborts;
+    switch (status.cause) {
+      case htm::AbortCause::kNone: break;
+      case htm::AbortCause::kConflict: ++b.conflict; break;
+      case htm::AbortCause::kCapacity: ++b.capacity; break;
+      case htm::AbortCause::kSpurious: ++b.spurious; break;
+      case htm::AbortCause::kExplicit:
+        if (status.code == lock_busy_code) {
+          ++b.explicit_lock_busy;
+        } else if (reader_code != 0 && status.code == reader_code) {
+          ++b.explicit_reader;
+        } else {
+          ++b.explicit_other;
+        }
+        break;
+    }
+  }
+
+  void record_escalation(Escalation e) {
+    EscalationCounts& c = mine().escalations;
+    switch (e) {
+      case Escalation::kRetryExhausted: ++c.retry_exhausted; break;
+      case Escalation::kCapacity: ++c.capacity; break;
+      case Escalation::kStalledReader: ++c.stalled_reader; break;
+      case Escalation::kBudgetExhausted: ++c.budget_exhausted; break;
+      case Escalation::kLemmingAvoided: ++c.lemming_avoided; break;
+    }
+  }
+
   LockStats snapshot() const {
     LockStats s;
     for (const auto& slot : slots_) {
       s.reads += slot.value.reads;
       s.writes += slot.value.writes;
+      s.aborts += slot.value.aborts;
+      s.escalations += slot.value.escalations;
     }
     return s;
   }

@@ -58,8 +58,13 @@ class TLELock {
         f();
       });
       if (status.committed()) return CommitMode::kHtm;
-      if (status.cause == htm::AbortCause::kCapacity ||
-          attempts >= cfg_.max_retries) {
+      modes_.record_abort(status, kCodeLockBusy);
+      if (status.cause == htm::AbortCause::kCapacity) {
+        modes_.record_escalation(Escalation::kCapacity);
+        break;
+      }
+      if (attempts >= cfg_.max_retries) {
+        modes_.record_escalation(Escalation::kRetryExhausted);
         break;
       }
     }

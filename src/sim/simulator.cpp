@@ -1,10 +1,37 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cstring>
+#include <cxxabi.h>
 #include <exception>
 #include <thread>
 
 #include "common/costs.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define SPRWL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPRWL_ASAN_FIBERS 1
+#endif
+#endif
+#ifndef SPRWL_ASAN_FIBERS
+#define SPRWL_ASAN_FIBERS 0
+#endif
+
+#if SPRWL_ASAN_FIBERS
+// AddressSanitizer must be told about every stack switch, or it attributes
+// fiber frames to the OS thread's stack and reports false positives (and
+// cannot detect genuine fiber-stack overflows).
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    std::size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     std::size_t* stack_size_old);
+}
+#endif
 
 #if defined(__x86_64__)
 #define SPRWL_FAST_FIBERS 1
@@ -21,6 +48,29 @@ void sprwl_fiber_main();
 #endif
 
 namespace sprwl::sim {
+namespace {
+
+// Every fiber shares one OS thread and therefore, by default, one
+// __cxa_eh_globals — libstdc++'s per-thread stack of in-flight exception
+// objects. That breaks as soon as a fiber yields while an exception is
+// alive: the HTM engine charges the abort penalty (which can yield) inside
+// its `catch (const AbortException&)` handler, so two fibers can be inside
+// catch blocks concurrently. Their __cxa_end_catch calls then pop each
+// other's exception objects off the shared list, freeing an exception
+// another fiber is still reading (a genuine use-after-free, found by ASan).
+// The cure is to give each execution context a private copy of the
+// structure, swapped at every switch. Its Itanium-ABI layout is stable:
+// { __cxa_exception* caughtExceptions; unsigned int uncaughtExceptions; },
+// which two pointer-sized words cover on LP64 and ILP32 alike.
+constexpr std::size_t kEhStateBytes = 2 * sizeof(void*);
+
+void eh_switch(unsigned char* save_to, const unsigned char* restore_from) {
+  auto* live = reinterpret_cast<unsigned char*>(abi::__cxa_get_globals());
+  std::memcpy(save_to, live, kEhStateBytes);
+  std::memcpy(live, restore_from, kEhStateBytes);
+}
+
+}  // namespace
 
 struct Simulator::FiberContext final : ExecutionContext {
   Simulator* sim = nullptr;
@@ -42,6 +92,9 @@ struct Simulator::Fiber {
   Simulator* sim = nullptr;
   std::exception_ptr error;
   FiberContext exec_ctx;
+  // Private __cxa_eh_globals while descheduled (zero = no live exceptions).
+  unsigned char eh_state[kEhStateBytes] = {};
+  void* fake_stack = nullptr;  // ASan fiber bookkeeping (unused otherwise)
 #if SPRWL_FAST_FIBERS
   void* rsp = nullptr;
 #else
@@ -86,6 +139,12 @@ Simulator::~Simulator() {
 }
 
 void Simulator::fiber_body(Fiber& f) {
+#if SPRWL_ASAN_FIBERS
+  // First activation of this fiber: complete the switch the scheduler
+  // started, and learn the scheduler's stack bounds for later yields.
+  __sanitizer_finish_switch_fiber(nullptr, &f.sim->sched_stack_bottom_,
+                                  &f.sim->sched_stack_size_);
+#endif
   try {
     (*f.sim->body_)(f.id);
   } catch (...) {
@@ -98,17 +157,38 @@ void Simulator::fiber_body(Fiber& f) {
 
 void Simulator::switch_to_fiber(Fiber& f) {
   t_entering_fiber = &f;  // consumed only on a fiber's first activation
+  eh_switch(sched_eh_state_, f.eh_state);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&sched_fake_stack_, f.stack.get(),
+                                 cfg_.stack_bytes);
+#endif
   sprwl_ctx_switch(&sched_rsp_, f.rsp);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(sched_fake_stack_, nullptr, nullptr);
+#endif
 }
 
 void Simulator::yield_to_scheduler(Fiber& f) {
+  eh_switch(f.eh_state, sched_eh_state_);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&f.fake_stack, sched_stack_bottom_,
+                                 sched_stack_size_);
+#endif
   sprwl_ctx_switch(&f.rsp, sched_rsp_);
+#if SPRWL_ASAN_FIBERS
+  // Resumed: the scheduler finished its half of the switch back to us.
+  __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+#endif
 }
 
 void Simulator::exit_fiber(Fiber& f) {
   // Permanently hand control back to the scheduler; the save slot is dead.
-  void* dead = nullptr;
-  (void)dead;
+  eh_switch(f.eh_state, f.sim->sched_eh_state_);
+#if SPRWL_ASAN_FIBERS
+  // Null save slot: the fiber is dying, let ASan destroy its fake stack.
+  __sanitizer_start_switch_fiber(nullptr, f.sim->sched_stack_bottom_,
+                                 f.sim->sched_stack_size_);
+#endif
   sprwl_ctx_switch(&f.rsp, f.sim->sched_rsp_);
 }
 
@@ -128,20 +208,46 @@ void Simulator::prepare_fiber(Fiber& f) {
 
 void Simulator::switch_to_fiber(Fiber& f) {
   t_entering_fiber = &f;
+  eh_switch(sched_eh_state_, f.eh_state);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&sched_fake_stack_, f.stack.get(),
+                                 cfg_.stack_bytes);
+#endif
   swapcontext(static_cast<ucontext_t*>(main_ctx_), &f.ctx);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(sched_fake_stack_, nullptr, nullptr);
+#endif
 }
 
 void Simulator::yield_to_scheduler(Fiber& f) {
+  eh_switch(f.eh_state, sched_eh_state_);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&f.fake_stack, sched_stack_bottom_,
+                                 sched_stack_size_);
+#endif
   swapcontext(&f.ctx, static_cast<ucontext_t*>(main_ctx_));
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+#endif
 }
 
-void Simulator::exit_fiber(Fiber&) {}  // uc_link returns to the scheduler
+void Simulator::exit_fiber(Fiber& f) {
+  // The actual switch happens via uc_link when the trampoline falls off;
+  // restore the scheduler's exception state (and tell ASan the fiber's
+  // stack is dying) just before that.
+  eh_switch(f.eh_state, f.sim->sched_eh_state_);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(nullptr, f.sim->sched_stack_bottom_,
+                                 f.sim->sched_stack_size_);
+#endif
+}
 
 namespace {
 void ucontext_trampoline() {
   Simulator::Fiber* f = t_entering_fiber;
   t_entering_fiber = nullptr;
   Simulator::fiber_body(*f);
+  Simulator::exit_fiber(*f);
   // Falling off returns to uc_link (the scheduler's main context).
 }
 }  // namespace
@@ -156,9 +262,16 @@ void Simulator::prepare_fiber(Fiber& f) {
 
 #endif
 
+void Simulator::deschedule_current_until(std::uint64_t until) {
+  if (running_ == nullptr) return;  // not called from a fiber: nothing to do
+  ++preemptions_;
+  fiber_wait_until(*running_, until);
+}
+
 void Simulator::run(int nthreads, const std::function<void(int)>& body) {
   if (nthreads <= 0) return;
   body_ = &body;
+  preemptions_ = 0;
   fibers_.clear();
   fibers_.reserve(static_cast<std::size_t>(nthreads));
 
@@ -199,7 +312,9 @@ void Simulator::schedule_loop() {
     Fiber& f = *fibers_[static_cast<std::size_t>(e.id)];
     next_wake_ = ready_.empty() ? ~0ULL : ready_.top().time;
     platform::set_context(&f.exec_ctx);
+    running_ = &f;
     switch_to_fiber(f);
+    running_ = nullptr;
     platform::set_context(nullptr);
     if (!f.done) ready_.push(Entry{f.time, f.id});
     // If a fiber errored out, the remaining ones either finish or hit the

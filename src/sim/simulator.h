@@ -76,6 +76,17 @@ class Simulator {
   /// Virtual time at which the last fiber of the previous run() finished.
   std::uint64_t final_time() const noexcept { return final_time_; }
 
+  /// Fault-injection hook: deschedules the *currently running* fiber until
+  /// virtual time `until`, modelling an OS preemption — the fiber performs
+  /// no work while other fibers run in the gap, and its clock resumes at
+  /// `until`. Must be called from inside a fiber of this simulator (no-op
+  /// otherwise). Throws SimTimeLimitError past the virtual-time limit, so
+  /// runaway fault plans still terminate deterministically.
+  void deschedule_current_until(std::uint64_t until);
+
+  /// Count of deschedule_current_until() preemptions in the current/last run.
+  std::uint64_t preemptions() const noexcept { return preemptions_; }
+
   // --- internal (public for the assembly entry thunk) ----------------------
   struct Fiber;
   static void fiber_body(Fiber& f);
@@ -105,8 +116,20 @@ class Simulator {
   const std::function<void(int)>* body_ = nullptr;
   void* sched_rsp_ = nullptr;  // x86-64 fast path save slot
   void* main_ctx_ = nullptr;   // ucontext fallback
+  Fiber* running_ = nullptr;   // fiber currently on the CPU (else scheduler)
+  // The scheduler's __cxa_eh_globals, saved while a fiber runs. All fibers
+  // share one OS thread, so the libstdc++ per-thread exception bookkeeping
+  // must be swapped at every context switch — otherwise two fibers that
+  // yield inside catch handlers pop each other's in-flight exception
+  // objects (see simulator.cpp).
+  unsigned char sched_eh_state_[2 * sizeof(void*)] = {};
+  // AddressSanitizer fiber bookkeeping; unused outside ASan builds.
+  void* sched_fake_stack_ = nullptr;
+  const void* sched_stack_bottom_ = nullptr;
+  std::size_t sched_stack_size_ = 0;
   std::uint64_t next_wake_ = 0;
   std::uint64_t final_time_ = 0;
+  std::uint64_t preemptions_ = 0;
 
   friend struct FiberContext;
 };

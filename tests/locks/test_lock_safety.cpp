@@ -12,6 +12,7 @@
 
 #include "common/platform.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "htm/engine.h"
 #include "htm/shared.h"
 #include "lock_test_utils.h"
@@ -206,6 +207,10 @@ TYPED_TEST(LockSafety, StatsCountEverySection) {
 
 TYPED_TEST(LockSafety, MixedStressKeepsInvariant) {
   // Randomized mixed workload over an array with invariant sum == 0.
+  // Seed replay: SPRWL_SEED=<seed printed on failure> reruns the exact
+  // schedule (the run is deterministic given the seed).
+  const std::uint64_t seed = fault::env_seed(3);
+  SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
   struct alignas(64) Slot {
     htm::Shared<std::int64_t> v;
   };
@@ -213,7 +218,7 @@ TYPED_TEST(LockSafety, MixedStressKeepsInvariant) {
   std::uint64_t violations = 0;
   sim::Simulator sim;
   sim.run(this->kThreads, [&](int tid) {
-    Rng rng(static_cast<std::uint64_t>(tid) * 977 + 3);
+    Rng rng(static_cast<std::uint64_t>(tid) * 977 + seed);
     for (int i = 0; i < 150; ++i) {
       if (rng.next_bool(0.3)) {
         const auto a = static_cast<std::size_t>(rng.next_below(16));
@@ -244,6 +249,8 @@ TYPED_TEST(LockSafety, MixedStressKeepsInvariant) {
 // Real preemptive threads: smaller but genuinely concurrent (on multicore
 // hosts) safety check for every lock type.
 TYPED_TEST(LockSafety, RealThreadStress) {
+  const std::uint64_t seed = fault::env_seed(42);
+  SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
   htm::Shared<std::uint64_t> counter(0);
   std::atomic<std::uint64_t> torn{0};
   struct alignas(64) Pair {
@@ -251,7 +258,7 @@ TYPED_TEST(LockSafety, RealThreadStress) {
   };
   Pair p;
   sim::run_real_threads(4, [&](int tid) {
-    Rng rng(static_cast<std::uint64_t>(tid) + 42);
+    Rng rng(static_cast<std::uint64_t>(tid) + seed);
     for (int i = 0; i < 300; ++i) {
       if (tid % 2 == 0) {
         this->lock_->write(1, [&] {
