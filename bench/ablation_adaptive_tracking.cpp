@@ -3,7 +3,9 @@
 // whichever fixed scheme (flags / SNZI) is better at that size, because it
 // starts on flags and flips to SNZI once the sampled reader duration
 // crosses the threshold.
+#include <array>
 #include <cstdio>
+#include <memory>
 
 #include "bench/support/hashmap_fig.h"
 
@@ -47,6 +49,7 @@ void run(const Args& args) {
               m.name, threads);
   std::printf("%8s | %12s %12s %12s | %s\n", "rd-size", "flags", "snzi",
               "adaptive", "adaptive vs best fixed");
+  Runner runner;
   for (const int size : {1, 10, 100, 1000}) {
     HashmapFigParams p = base;
     p.lookups_per_read = size;
@@ -54,13 +57,21 @@ void run(const Args& args) {
       p.measure_cycles = std::max<std::uint64_t>(
           p.measure_cycles, static_cast<std::uint64_t>(size) * 40'000);
     }
-    const double flags = run_point(m, p, threads, 0);
-    const double snzi = run_point(m, p, threads, 1);
-    const double adaptive = run_point(m, p, threads, 2);
-    const double best = flags > snzi ? flags : snzi;
-    std::printf("%8d | %12.3e %12.3e %12.3e | %5.2fx\n", size, flags, snzi,
-                adaptive, best > 0 ? adaptive / best : 0.0);
+    // The three variants of one size are independent points; the row prints
+    // once all three computed, in size order.
+    auto res = std::make_shared<std::array<double, 3>>();
+    runner.submit([res, m, p, threads] { (*res)[0] = run_point(m, p, threads, 0); });
+    runner.submit([res, m, p, threads] { (*res)[1] = run_point(m, p, threads, 1); });
+    runner.submit(
+        [res, m, p, threads] { (*res)[2] = run_point(m, p, threads, 2); },
+        [res, size] {
+          const double flags = (*res)[0], snzi = (*res)[1], adaptive = (*res)[2];
+          const double best = flags > snzi ? flags : snzi;
+          std::printf("%8d | %12.3e %12.3e %12.3e | %5.2fx\n", size, flags,
+                      snzi, adaptive, best > 0 ? adaptive / best : 0.0);
+        });
   }
+  runner.drain();
 }
 
 }  // namespace

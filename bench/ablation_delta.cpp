@@ -23,15 +23,17 @@ void run(const Args& args) {
       "threads\n",
       m.name, threads);
   print_series_header();
+  Runner runner;
   for (const double delta : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     char label[32];
     std::snprintf(label, sizeof label, "delta=%.2f", delta);
-    hashmap_series(label, m, p, {threads}, [&](int n) {
+    hashmap_series(runner, label, m, p, {threads}, [delta](int n) {
       core::Config c = core::Config::variant(core::SchedulingVariant::kFull, n);
       c.delta_fraction = delta;
       return std::make_unique<core::SpRWLock>(c);
     });
   }
+  runner.drain();
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 // of sweeping width, writers inserting/erasing single keys. As the range
 // width grows past HTM capacity the same crossover as Fig. 3 appears on a
 // realistic ordered index.
+#include <array>
 #include <cstdio>
 #include <memory>
 
 #include "bench/support/bench_common.h"
+#include "bench/support/runner.h"
 #include "core/sprwl.h"
 #include "locks/posix_rwlock.h"
 #include "locks/tle.h"
@@ -43,8 +45,10 @@ double run_point(const Machine& m, Lock& lock, int threads,
   }
   std::uint64_t ops = 0;
   sim::Simulator sim;
+  // One scope around the run, on this thread — not per fiber (see
+  // workloads/driver.h).
+  htm::EngineScope scope(engine);
   sim.run(threads, [&](int tid) {
-    htm::EngineScope scope(engine);
     Rng rng(seed * 31 + static_cast<std::uint64_t>(tid));
     std::uint64_t mine = 0;
     while (platform::now() < measure) {
@@ -82,20 +86,34 @@ void run(const Args& args) {
       m.name, threads);
   std::printf("%10s | %12s %12s %12s | %s\n", "range", "TLE", "RWL", "SpRWL",
               "SpRWL/TLE");
+  Runner runner;
   for (const std::uint64_t width : {64ull, 512ull, 4096ull, 16384ull}) {
-    locks::TLELock::Config tc;
-    tc.max_threads = threads;
-    locks::TLELock tle{tc};
-    const double t_tle = run_point(m, tle, threads, width, measure, args.seed);
-    locks::PosixRWLock rwl{threads};
-    const double t_rwl = run_point(m, rwl, threads, width, measure, args.seed);
-    core::SpRWLock sprwl{
-        core::Config::variant(core::SchedulingVariant::kFull, threads)};
-    const double t_sp = run_point(m, sprwl, threads, width, measure, args.seed);
-    std::printf("%10llu | %12.3e %12.3e %12.3e | %8.2fx\n",
-                static_cast<unsigned long long>(width), t_tle, t_rwl, t_sp,
-                t_tle > 0 ? t_sp / t_tle : 0.0);
+    auto res = std::make_shared<std::array<double, 3>>();
+    const std::uint64_t seed = args.seed;
+    runner.submit([res, m, threads, width, measure, seed] {
+      locks::TLELock::Config tc;
+      tc.max_threads = threads;
+      locks::TLELock tle{tc};
+      (*res)[0] = run_point(m, tle, threads, width, measure, seed);
+    });
+    runner.submit([res, m, threads, width, measure, seed] {
+      locks::PosixRWLock rwl{threads};
+      (*res)[1] = run_point(m, rwl, threads, width, measure, seed);
+    });
+    runner.submit(
+        [res, m, threads, width, measure, seed] {
+          core::SpRWLock sprwl{
+              core::Config::variant(core::SchedulingVariant::kFull, threads)};
+          (*res)[2] = run_point(m, sprwl, threads, width, measure, seed);
+        },
+        [res, width] {
+          const double t_tle = (*res)[0], t_rwl = (*res)[1], t_sp = (*res)[2];
+          std::printf("%10llu | %12.3e %12.3e %12.3e | %8.2fx\n",
+                      static_cast<unsigned long long>(width), t_tle, t_rwl,
+                      t_sp, t_tle > 0 ? t_sp / t_tle : 0.0);
+        });
   }
+  runner.drain();
 }
 
 }  // namespace

@@ -5,40 +5,19 @@
 // Expected shape (paper): TLE best overall (all HTM commits); SpRWL
 // comparable (within tens of percent — its readers also go through HTM
 // first, §3.4) and clearly above the pessimistic locks; RW-LE lags both.
+//
+// Data points run in parallel across SPRWL_BENCH_JOBS OS threads (default:
+// hardware concurrency); output is byte-identical to a serial run.
 #include <cstdio>
 
-#include "bench/support/hashmap_fig.h"
-
-namespace sprwl::bench {
-namespace {
-
-void run_machine(const Machine& m, const Args& args) {
-  HashmapFigParams p = machine_params(m, args);
-  p.lookups_per_read = 1;
-  const std::vector<int>& threads = m.threads(args.full);
-  const bool is_power8 = std::string(m.name) == "power8";
-
-  for (const double updates : {0.10, 0.50, 0.90}) {
-    p.update_ratio = updates;
-    std::printf("\n--- fig4 | %s | %.0f%% updates | readers = 1 lookup ---\n",
-                m.name, updates * 100);
-    print_series_header();
-    hashmap_series("TLE", m, p, threads, make_tle());
-    hashmap_series("RWL", m, p, threads, make_rwl());
-    hashmap_series("BRLock", m, p, threads, make_brlock());
-    if (is_power8) hashmap_series("RW-LE", m, p, threads, make_rwle());
-    hashmap_series("SpRWL", m, p, threads, make_sprwl());
-  }
-}
-
-}  // namespace
-}  // namespace sprwl::bench
+#include "bench/support/fig34_suites.h"
 
 int main(int argc, char** argv) {
   using namespace sprwl::bench;
   const Args args = Args::parse(argc, argv);
   std::printf("Fig. 4 — hashmap, short readers (1 lookup/read CS)\n");
-  if (args.want_profile("broadwell")) run_machine(broadwell_machine(), args);
-  if (args.want_profile("power8")) run_machine(power8_machine(), args);
+  Runner runner;
+  fig4_suite(runner, args);
+  runner.drain();
   return 0;
 }

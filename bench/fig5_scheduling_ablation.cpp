@@ -27,10 +27,16 @@ int main(int argc, char** argv) {
       "%s)\n",
       m.name);
   print_series_header();
-  hashmap_series("TLE", m, p, threads, make_tle());
-  hashmap_series("NoSched", m, p, threads, make_sprwl(SchedulingVariant::kNoSched));
-  hashmap_series("RWait", m, p, threads, make_sprwl(SchedulingVariant::kRWait));
-  hashmap_series("RSync", m, p, threads, make_sprwl(SchedulingVariant::kRSync));
-  hashmap_series("SpRWL", m, p, threads, make_sprwl(SchedulingVariant::kFull));
+  Runner runner;
+  hashmap_series(runner, "TLE", m, p, threads, make_tle());
+  hashmap_series(runner, "NoSched", m, p, threads,
+                 make_sprwl(SchedulingVariant::kNoSched));
+  hashmap_series(runner, "RWait", m, p, threads,
+                 make_sprwl(SchedulingVariant::kRWait));
+  hashmap_series(runner, "RSync", m, p, threads,
+                 make_sprwl(SchedulingVariant::kRSync));
+  hashmap_series(runner, "SpRWL", m, p, threads,
+                 make_sprwl(SchedulingVariant::kFull));
+  runner.drain();
   return 0;
 }

@@ -9,10 +9,14 @@
 // run uninstrumented. TLE cannot elide Stock-Level; RW-LE pays quiescence
 // in writer latency; SNZI helps on POWER8 (smaller writer footprint) and
 // hurts on Broadwell.
+//
+// Data points (including database population) run in parallel across
+// SPRWL_BENCH_JOBS OS threads; output is byte-identical to a serial run.
 #include <cstdio>
 #include <memory>
 
 #include "bench/support/bench_common.h"
+#include "bench/support/runner.h"
 #include "core/sprwl.h"
 #include "locks/brlock.h"
 #include "locks/posix_rwlock.h"
@@ -37,62 +41,75 @@ tpcc::Scale bench_scale(int warehouses, int max_threads, std::uint64_t seed) {
   return s;
 }
 
+/// make_lock(threads) must own its captures (copied into the pool task).
 template <class MakeLock>
-void tpcc_series(const char* lock_name, const Machine& m, const Args& args,
-                 const std::vector<int>& threads, int warehouses,
-                 MakeLock&& make_lock) {
+void tpcc_series(Runner& runner, const char* lock_name, const Machine& m,
+                 const Args& args, const std::vector<int>& threads,
+                 int warehouses, MakeLock make_lock) {
   for (const int n : threads) {
-    htm::EngineConfig ec;
-    ec.capacity = m.capacity_at(n);
-    ec.max_threads = n;
-    ec.seed = args.seed;
-    htm::Engine engine(ec);
-    // Fresh database per point, as the paper restarts runs.
-    tpcc::Database db(bench_scale(warehouses, n, args.seed));
-    db.populate();
-    auto lock = make_lock(n);
-    tpcc::TpccDriverConfig dc;
-    dc.threads = n;
-    dc.seed = args.seed;
-    dc.warmup_cycles = 300'000;
-    dc.measure_cycles = args.measure_cycles != 0 ? args.measure_cycles
-                        : args.full              ? 8'000'000
-                                                 : 3'000'000;
-    sim::Simulator sim;
-    const tpcc::TpccRunResult r = run_tpcc(sim, engine, *lock, db, dc);
-    const Breakdown b = make_breakdown(r.engine_stats, r.lock_stats, r.reader_aborts);
-    print_series_row(lock_name, n, r.throughput_tx_s(), b, r.read_latency.mean(),
-                     r.write_latency.mean());
+    auto point = std::make_shared<tpcc::TpccRunResult>();
+    runner.submit(
+        [point, m, args, n, warehouses, make_lock] {
+          htm::EngineConfig ec;
+          ec.capacity = m.capacity_at(n);
+          ec.max_threads = n;
+          ec.seed = args.seed;
+          htm::Engine engine(ec);
+          // Fresh database per point, as the paper restarts runs.
+          tpcc::Database db(bench_scale(warehouses, n, args.seed));
+          db.populate();
+          auto lock = make_lock(n);
+          tpcc::TpccDriverConfig dc;
+          dc.threads = n;
+          dc.seed = args.seed;
+          dc.warmup_cycles = 300'000;
+          dc.measure_cycles = args.measure_cycles != 0 ? args.measure_cycles
+                              : args.full              ? 8'000'000
+                                                       : 3'000'000;
+          sim::Simulator sim;
+          *point = run_tpcc(sim, engine, *lock, db, dc);
+        },
+        [point, lock_name = std::string(lock_name), n] {
+          const Breakdown b = make_breakdown(point->engine_stats,
+                                             point->lock_stats,
+                                             point->reader_aborts);
+          print_series_row(lock_name.c_str(), n, point->throughput_tx_s(), b,
+                           point->read_latency.mean(),
+                           point->write_latency.mean());
+        });
   }
 }
 
-void run_machine(const Machine& m, const Args& args) {
+void run_machine(Runner& runner, const Machine& m, const Args& args) {
   const std::vector<int>& threads = m.threads(args.full);
   const int warehouses = threads.back();  // paper: warehouses = max threads
   const bool is_power8 = std::string(m.name) == "power8";
-  std::printf("\n--- fig7 | %s | warehouses = %d ---\n", m.name, warehouses);
-  print_series_header();
-  tpcc_series("TLE", m, args, threads, warehouses, [&](int n) {
+  runner.submit({}, [name = std::string(m.name), warehouses] {
+    std::printf("\n--- fig7 | %s | warehouses = %d ---\n", name.c_str(),
+                warehouses);
+    print_series_header();
+  });
+  tpcc_series(runner, "TLE", m, args, threads, warehouses, [](int n) {
     locks::TLELock::Config c;
     c.max_threads = n;
     return std::make_unique<locks::TLELock>(c);
   });
-  tpcc_series("RWL", m, args, threads, warehouses,
-              [&](int n) { return std::make_unique<locks::PosixRWLock>(n); });
-  tpcc_series("BRLock", m, args, threads, warehouses,
-              [&](int n) { return std::make_unique<locks::BRLock>(n); });
+  tpcc_series(runner, "RWL", m, args, threads, warehouses,
+              [](int n) { return std::make_unique<locks::PosixRWLock>(n); });
+  tpcc_series(runner, "BRLock", m, args, threads, warehouses,
+              [](int n) { return std::make_unique<locks::BRLock>(n); });
   if (is_power8) {
-    tpcc_series("RW-LE", m, args, threads, warehouses, [&](int n) {
+    tpcc_series(runner, "RW-LE", m, args, threads, warehouses, [](int n) {
       locks::RWLELock::Config c;
       c.max_threads = n;
       return std::make_unique<locks::RWLELock>(c);
     });
   }
-  tpcc_series("SpRWL", m, args, threads, warehouses, [&](int n) {
+  tpcc_series(runner, "SpRWL", m, args, threads, warehouses, [](int n) {
     return std::make_unique<core::SpRWLock>(
         core::Config::variant(core::SchedulingVariant::kFull, n));
   });
-  tpcc_series("SNZI", m, args, threads, warehouses, [&](int n) {
+  tpcc_series(runner, "SNZI", m, args, threads, warehouses, [](int n) {
     core::Config c = core::Config::variant(core::SchedulingVariant::kFull, n);
     c.use_snzi = true;
     return std::make_unique<core::SpRWLock>(c);
@@ -108,7 +125,9 @@ int main(int argc, char** argv) {
   std::printf(
       "Fig. 7 — TPC-C (SL 31%% / D 4%% / OS 4%% / P 43%% / NO 18%%), one "
       "global RWLock\n");
-  if (args.want_profile("broadwell")) run_machine(broadwell_machine(), args);
-  if (args.want_profile("power8")) run_machine(power8_machine(), args);
+  Runner runner;
+  if (args.want_profile("broadwell")) run_machine(runner, broadwell_machine(), args);
+  if (args.want_profile("power8")) run_machine(runner, power8_machine(), args);
+  runner.drain();
   return 0;
 }

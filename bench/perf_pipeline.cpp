@@ -1,0 +1,145 @@
+// Perf trajectory of the evaluation pipeline itself: times the fig3+fig4
+// point set (the core hash-map suites) under three configurations and
+// writes BENCH_perf.json —
+//
+//   serial_old    jobs=1, the pre-overhaul pipeline: binary priority-queue
+//                 scheduler, trampoline-only switching, fresh zeroed fiber
+//                 stacks, word-at-a-time reader scan;
+//   serial_new    jobs=1, direct fiber switching + line-batched commit
+//                 scan (the shipping defaults);
+//   parallel_new  SPRWL_BENCH_JOBS (default: hardware concurrency) pool
+//                 over the same points.
+//
+// Besides the wall-clock trajectory (points/sec, context switches/sec) it
+// byte-compares the serial_new and parallel_new bench output and fails if
+// they differ — the parallel runner must not change a single byte.
+//
+// Note serial_old differs from serial_new in *scheduler and scan
+// configuration* only; both produce valid figure data (serial_old's SpRWL
+// rows charge the unbatched scan cost, so their virtual-time numbers are
+// the old pipeline's numbers, as intended for a baseline).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/support/fig34_suites.h"
+#include "bench/support/json.h"
+
+namespace sprwl::bench {
+namespace {
+
+struct ModeResult {
+  std::string name;
+  int jobs = 1;
+  double wall_s = 0;
+  std::uint64_t points = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t direct_switches = 0;
+  std::string output;
+
+  double points_per_sec() const { return wall_s > 0 ? points / wall_s : 0; }
+  double switches_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(switches) / wall_s : 0;
+  }
+};
+
+ModeResult run_mode(const char* name, int jobs, bool new_pipeline,
+                    const Args& args) {
+  ModeResult r;
+  r.name = name;
+  r.jobs = jobs;
+  SuiteOptions opt;
+  opt.series.sim.direct_switch = new_pipeline;
+  opt.series.sim.legacy_ready_queue = !new_pipeline;
+  opt.sprwl_batched_scan = new_pipeline;
+  opt.series.out = [&r](const std::string& s) { r.output += s; };
+  opt.series.observe = [&r](const SeriesPoint& pt) {
+    ++r.points;
+    r.switches += pt.sim_stats.switches;
+    r.direct_switches += pt.sim_stats.direct_switches;
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    Runner runner(jobs);
+    fig3_suite(runner, args, opt);
+    fig4_suite(runner, args, opt);
+    runner.drain();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("%-12s  jobs=%-3d  %8.2fs  %6.2f points/s  %11.3e switches/s\n",
+              r.name.c_str(), r.jobs, r.wall_s, r.points_per_sec(),
+              r.switches_per_sec());
+  std::fflush(stdout);
+  return r;
+}
+
+int run(const Args& args) {
+  const int par_jobs = Runner::jobs_from_env();
+  std::printf(
+      "perf_pipeline — fig3+fig4 suite wall-clock (SPRWL_BENCH_JOBS=%d)\n",
+      par_jobs);
+  std::fflush(stdout);
+
+  std::vector<ModeResult> modes;
+  modes.push_back(run_mode("serial_old", 1, false, args));
+  modes.push_back(run_mode("serial_new", 1, true, args));
+  modes.push_back(run_mode("parallel_new", par_jobs, true, args));
+
+  const ModeResult& old_m = modes[0];
+  const ModeResult& new_s = modes[1];
+  const ModeResult& new_p = modes[2];
+  const bool identical = new_s.output == new_p.output;
+  const double speedup_sched =
+      new_s.wall_s > 0 ? old_m.wall_s / new_s.wall_s : 0;
+  const double speedup_total =
+      new_p.wall_s > 0 ? old_m.wall_s / new_p.wall_s : 0;
+
+  std::printf("\nscheduler+scan speedup (serial_new vs serial_old): %.2fx\n",
+              speedup_sched);
+  std::printf("total speedup (parallel_new vs serial_old):        %.2fx\n",
+              speedup_total);
+  std::printf("serial/parallel output byte-identical:             %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench").value("perf_pipeline");
+  j.key("suite").value("fig3+fig4");
+  j.key("jobs").value(par_jobs);
+  j.key("hw_concurrency")
+      .value(static_cast<int>(std::thread::hardware_concurrency()));
+  j.key("modes").begin_array();
+  for (const ModeResult& m : modes) {
+    j.begin_object();
+    j.key("name").value(m.name);
+    j.key("jobs").value(m.jobs);
+    j.key("wall_seconds").value(m.wall_s);
+    j.key("points").value(m.points);
+    j.key("points_per_sec").value(m.points_per_sec());
+    j.key("switches").value(m.switches);
+    j.key("direct_switches").value(m.direct_switches);
+    j.key("switches_per_sec").value(m.switches_per_sec());
+    j.end_object();
+  }
+  j.end_array();
+  j.key("speedup_serial_new_vs_serial_old").value(speedup_sched);
+  j.key("speedup_parallel_new_vs_serial_old").value(speedup_total);
+  j.key("outputs_identical").value(identical);
+  j.end_object();
+  if (!j.write_file("BENCH_perf.json")) {
+    std::fprintf(stderr, "failed to write BENCH_perf.json\n");
+    return 2;
+  }
+  std::printf("wrote BENCH_perf.json\n");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sprwl::bench
+
+int main(int argc, char** argv) {
+  return sprwl::bench::run(sprwl::bench::Args::parse(argc, argv));
+}

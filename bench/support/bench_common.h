@@ -17,130 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "bench/support/json.h"
 #include "common/histogram.h"
 #include "htm/htm.h"
 #include "locks/stats.h"
 #include "workloads/driver.h"
 
 namespace sprwl::bench {
-
-/// Minimal streaming JSON builder for the machine-readable BENCH_*.json
-/// files the benches emit next to their human tables. Values are written in
-/// call order; the writer tracks open objects/arrays and inserts commas, so
-/// call sites stay linear:
-///
-///   JsonWriter j;
-///   j.begin_object();
-///   j.key("bench").value("engine_ops");
-///   j.key("rows").begin_array();
-///   ... j.begin_object(); j.key("threads").value(8); j.end_object(); ...
-///   j.end_array();
-///   j.end_object();
-///   j.write_file("BENCH_engine.json");
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { return open('{', '}'); }
-  JsonWriter& end_object() { return close('}'); }
-  JsonWriter& begin_array() { return open('[', ']'); }
-  JsonWriter& end_array() { return close(']'); }
-
-  JsonWriter& key(const char* k) {
-    comma();
-    append_string(k);
-    out_ += ':';
-    pending_value_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(const char* s) { return scalar([&] { append_string(s); }); }
-  JsonWriter& value(const std::string& s) { return value(s.c_str()); }
-  JsonWriter& value(bool b) { return scalar([&] { out_ += b ? "true" : "false"; }); }
-  JsonWriter& value(double d) {
-    return scalar([&] {
-      char buf[40];
-      std::snprintf(buf, sizeof buf, "%.17g", d);
-      out_ += buf;
-    });
-  }
-  JsonWriter& value(std::uint64_t v) {
-    return scalar([&] { out_ += std::to_string(v); });
-  }
-  JsonWriter& value(int v) {
-    return scalar([&] { out_ += std::to_string(v); });
-  }
-
-  const std::string& str() const noexcept { return out_; }
-
-  bool write_file(const char* path) const {
-    assert(depth_ == 0 && "unbalanced begin/end");
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) return false;
-    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
-    std::fclose(f);
-    return ok;
-  }
-
- private:
-  template <class F>
-  JsonWriter& scalar(F&& emit) {
-    comma();
-    emit();
-    just_closed_value_ = true;
-    pending_value_ = false;
-    return *this;
-  }
-
-  JsonWriter& open(char c, char) {
-    comma();
-    out_ += c;
-    ++depth_;
-    just_closed_value_ = false;
-    pending_value_ = false;
-    return *this;
-  }
-
-  JsonWriter& close(char c) {
-    assert(depth_ > 0);
-    out_ += c;
-    --depth_;
-    just_closed_value_ = true;
-    return *this;
-  }
-
-  void comma() {
-    if (pending_value_) return;  // right after key(): no separator
-    if (just_closed_value_) out_ += ',';
-    just_closed_value_ = false;
-  }
-
-  void append_string(const char* s) {
-    out_ += '"';
-    for (; *s != '\0'; ++s) {
-      const unsigned char c = static_cast<unsigned char>(*s);
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        case '\r': out_ += "\\r"; break;
-        default:
-          if (c < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out_ += buf;
-          } else {
-            out_ += static_cast<char>(c);
-          }
-      }
-    }
-    out_ += '"';
-  }
-
-  std::string out_;
-  int depth_ = 0;
-  bool just_closed_value_ = false;
-  bool pending_value_ = false;
-};
 
 struct Args {
   bool full = false;
@@ -275,22 +158,42 @@ inline Breakdown make_breakdown(const htm::EngineStats& es,
   return b;
 }
 
-inline void print_series_header() {
-  std::printf(
+// Row formatting exists in string form so the parallel runner's emit phase
+// and the determinism test see the exact bytes a serial printf would write.
+
+inline std::string format_series_header() {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
       "%-10s %4s | %10s | %6s %6s %6s %6s %6s | %5s %5s %5s %5s %5s | %10s "
       "%10s\n",
       "lock", "thr", "tx/s", "ab%", "cnfl%", "cap%", "rdr%", "expl%", "HTM%",
       "ROT%", "GL%", "Unin%", "Pess%", "rd-lat", "wr-lat");
+  return buf;
 }
 
-inline void print_series_row(const char* lock, int threads, double tx_s,
-                             const Breakdown& b, double rd_lat, double wr_lat) {
-  std::printf(
+inline std::string format_series_row(const char* lock, int threads, double tx_s,
+                                     const Breakdown& b, double rd_lat,
+                                     double wr_lat) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
       "%-10s %4d | %10.3e | %6.1f %6.1f %6.1f %6.1f %6.1f | %5.1f %5.1f %5.1f "
       "%5.1f %5.1f | %10.0f %10.0f\n",
       lock, threads, tx_s, b.abort_rate, b.ab_conflict, b.ab_capacity,
       b.ab_reader, b.ab_explicit, b.commit_htm, b.commit_rot, b.commit_gl,
       b.commit_unins, b.commit_pess, rd_lat, wr_lat);
+  return buf;
+}
+
+inline void print_series_header() {
+  std::fputs(format_series_header().c_str(), stdout);
+}
+
+inline void print_series_row(const char* lock, int threads, double tx_s,
+                             const Breakdown& b, double rd_lat, double wr_lat) {
+  std::fputs(format_series_row(lock, threads, tx_s, b, rd_lat, wr_lat).c_str(),
+             stdout);
 }
 
 }  // namespace sprwl::bench

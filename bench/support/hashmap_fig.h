@@ -3,12 +3,20 @@
 // exceeds HTM capacity while a single update fits), runs the mixed workload
 // under a given lock for each thread count, and prints one series row per
 // point.
+//
+// Points are submitted to a bench::Runner: each (lock, thread-count) pair
+// is an independent experiment — its own Engine, map, lock and Simulator —
+// computed on whichever pool thread picks it up, with the row printed in
+// declaration order at drain() time (byte-identical to a serial run).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "bench/support/bench_common.h"
+#include "bench/support/runner.h"
 #include "common/rng.h"
 #include "core/sprwl.h"
 #include "htm/engine.h"
@@ -64,33 +72,75 @@ inline workloads::HashMap make_figure_map(const HashmapFigParams& p,
   return map;
 }
 
-/// Runs one lock type over the machine's thread counts, printing a row per
-/// point. make_lock(threads) returns a unique_ptr to the lock.
+/// Everything one data point produced, available to SeriesOptions::observe
+/// at emit time (declaration order).
+struct SeriesPoint {
+  std::string lock;
+  int threads = 0;
+  workloads::RunResult run;
+  sim::SimStats sim_stats;        ///< scheduler counters of the point's run
+  std::uint64_t final_time = 0;   ///< virtual end time of the point's run
+};
+
+struct SeriesOptions {
+  /// Simulator configuration for every point (perf_pipeline flips
+  /// direct_switch off here to time the classic scheduler).
+  sim::SimConfig sim{};
+  /// Row sink; default prints to stdout. Runs at emit time, in order.
+  std::function<void(const std::string&)> out;
+  /// Per-point hook after the row is emitted (aggregation, JSON).
+  std::function<void(const SeriesPoint&)> observe;
+};
+
+/// Submits one point per thread count to `runner`. make_lock(threads)
+/// returns a unique_ptr to the lock; it is copied into each point's task,
+/// so the factory must own what it captures (all call sites pass small
+/// value-capturing lambdas). Rows appear in declaration order at drain().
 template <class MakeLock>
-void hashmap_series(const char* lock_name, const Machine& m,
+void hashmap_series(Runner& runner, const char* lock_name, const Machine& m,
                     const HashmapFigParams& p, const std::vector<int>& threads,
-                    MakeLock&& make_lock) {
+                    MakeLock make_lock, const SeriesOptions& opt = {}) {
   for (const int n : threads) {
-    htm::EngineConfig ec;
-    ec.capacity = m.capacity_at(n);
-    ec.max_threads = n;
-    ec.seed = p.seed;
-    htm::Engine engine(ec);
-    workloads::HashMap map = make_figure_map(p, n);
-    auto lock = make_lock(n);
-    workloads::DriverConfig dc;
-    dc.threads = n;
-    dc.update_ratio = p.update_ratio;
-    dc.lookups_per_read = p.lookups_per_read;
-    dc.key_space = p.key_space;
-    dc.warmup_cycles = p.warmup_cycles;
-    dc.measure_cycles = p.measure_cycles;
-    dc.seed = p.seed;
-    sim::Simulator sim;
-    const workloads::RunResult r = run_hashmap(sim, engine, *lock, map, dc);
-    const Breakdown b = make_breakdown(r.engine_stats, r.lock_stats, r.reader_aborts);
-    print_series_row(lock_name, n, r.throughput_tx_s(), b, r.read_latency.mean(),
-                     r.write_latency.mean());
+    auto point = std::make_shared<SeriesPoint>();
+    point->lock = lock_name;
+    point->threads = n;
+    runner.submit(
+        [point, m, p, n, make_lock, sim_cfg = opt.sim] {
+          htm::EngineConfig ec;
+          ec.capacity = m.capacity_at(n);
+          ec.max_threads = n;
+          ec.seed = p.seed;
+          htm::Engine engine(ec);
+          workloads::HashMap map = make_figure_map(p, n);
+          auto lock = make_lock(n);
+          workloads::DriverConfig dc;
+          dc.threads = n;
+          dc.update_ratio = p.update_ratio;
+          dc.lookups_per_read = p.lookups_per_read;
+          dc.key_space = p.key_space;
+          dc.warmup_cycles = p.warmup_cycles;
+          dc.measure_cycles = p.measure_cycles;
+          dc.seed = p.seed;
+          sim::Simulator sim(sim_cfg);
+          point->run = run_hashmap(sim, engine, *lock, map, dc);
+          point->sim_stats = sim.stats();
+          point->final_time = sim.final_time();
+        },
+        [point, out = opt.out, observe = opt.observe] {
+          const workloads::RunResult& r = point->run;
+          const Breakdown b =
+              make_breakdown(r.engine_stats, r.lock_stats, r.reader_aborts);
+          const std::string row =
+              format_series_row(point->lock.c_str(), point->threads,
+                                r.throughput_tx_s(), b, r.read_latency.mean(),
+                                r.write_latency.mean());
+          if (out) {
+            out(row);
+          } else {
+            std::fputs(row.c_str(), stdout);
+          }
+          if (observe) observe(*point);
+        });
   }
 }
 
@@ -116,10 +166,11 @@ inline auto make_rwle() {
   };
 }
 inline auto make_sprwl(core::SchedulingVariant v = core::SchedulingVariant::kFull,
-                       bool use_snzi = false) {
-  return [v, use_snzi](int n) {
+                       bool use_snzi = false, bool batched_scan = true) {
+  return [v, use_snzi, batched_scan](int n) {
     core::Config c = core::Config::variant(v, n);
     c.use_snzi = use_snzi;
+    c.batched_reader_scan = batched_scan;
     return std::make_unique<core::SpRWLock>(c);
   };
 }

@@ -7,8 +7,7 @@
 #include <x86intrin.h>
 #endif
 
-namespace sprwl::platform {
-namespace {
+namespace sprwl::platform::detail {
 
 thread_local ExecutionContext* t_context = nullptr;
 thread_local int t_thread_id = -1;
@@ -38,42 +37,8 @@ void real_pause() noexcept {
   std::this_thread::yield();
 }
 
-}  // namespace
-
-void set_context(ExecutionContext* ctx) noexcept { t_context = ctx; }
-
-ExecutionContext* context() noexcept { return t_context; }
-
-void set_thread_id(int tid) noexcept { t_thread_id = tid; }
-
-std::uint64_t now() {
-  if (t_context != nullptr) return t_context->now();
-  return real_now();
-}
-
-void advance(std::uint64_t cycles) {
-  if (t_context != nullptr) t_context->advance(cycles);
-}
-
-void pause() {
-  if (t_context != nullptr) {
-    t_context->pause();
-    return;
-  }
-  real_pause();
-}
-
-void wait_until(std::uint64_t t) {
-  if (t_context != nullptr) {
-    t_context->wait_until(t);
-    return;
-  }
+void real_wait_until(std::uint64_t t) noexcept {
   while (real_now() < t) real_pause();
 }
 
-int thread_id() {
-  if (t_context != nullptr) return t_context->thread_id();
-  return t_thread_id;
-}
-
-}  // namespace sprwl::platform
+}  // namespace sprwl::platform::detail

@@ -46,22 +46,59 @@ class ExecutionContext {
 
 namespace platform {
 
+namespace detail {
+// The per-thread state lives here (defined in platform.cpp) so the facade
+// functions below can inline into the simulator/engine hot paths — they
+// run tens of millions of times per bench data point, and a cross-TU call
+// per virtual-cycle charge is measurable at that rate.
+extern thread_local ExecutionContext* t_context;
+extern thread_local int t_thread_id;
+std::uint64_t real_now() noexcept;
+void real_pause() noexcept;
+void real_wait_until(std::uint64_t t) noexcept;
+}  // namespace detail
+
 /// Install/remove the context for the calling OS thread. Passing nullptr
 /// restores real mode.
-void set_context(ExecutionContext* ctx) noexcept;
-ExecutionContext* context() noexcept;
+inline void set_context(ExecutionContext* ctx) noexcept {
+  detail::t_context = ctx;
+}
+inline ExecutionContext* context() noexcept { return detail::t_context; }
 
 /// In real mode, threads must be given a dense id before touching any lock
 /// that keeps per-thread state. In simulated mode the fiber id wins.
-void set_thread_id(int tid) noexcept;
+inline void set_thread_id(int tid) noexcept { detail::t_thread_id = tid; }
 
 // These may throw when a simulated context enforces its virtual-time limit
 // (sim::SimTimeLimitError), hence no noexcept.
-std::uint64_t now();
-void advance(std::uint64_t cycles);
-void pause();
-void wait_until(std::uint64_t t);
-int thread_id();
+inline std::uint64_t now() {
+  ExecutionContext* c = detail::t_context;
+  return c != nullptr ? c->now() : detail::real_now();
+}
+inline void advance(std::uint64_t cycles) {
+  ExecutionContext* c = detail::t_context;
+  if (c != nullptr) c->advance(cycles);
+}
+inline void pause() {
+  ExecutionContext* c = detail::t_context;
+  if (c != nullptr) {
+    c->pause();
+    return;
+  }
+  detail::real_pause();
+}
+inline void wait_until(std::uint64_t t) {
+  ExecutionContext* c = detail::t_context;
+  if (c != nullptr) {
+    c->wait_until(t);
+    return;
+  }
+  detail::real_wait_until(t);
+}
+inline int thread_id() {
+  ExecutionContext* c = detail::t_context;
+  return c != nullptr ? c->thread_id() : detail::t_thread_id;
+}
 
 }  // namespace platform
 

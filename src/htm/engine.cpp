@@ -8,6 +8,7 @@
 namespace sprwl::htm {
 
 std::atomic<Engine*> Engine::g_current{nullptr};
+thread_local Engine* Engine::t_current = nullptr;
 
 const char* to_string(AbortCause c) noexcept {
   switch (c) {
@@ -33,6 +34,15 @@ Engine::Engine(EngineConfig cfg)
   if (cfg.max_threads <= 0) throw std::invalid_argument("max_threads must be > 0");
   if (cfg.table_bits < 4 || cfg.table_bits > 28)
     throw std::invalid_argument("table_bits out of range [4,28]");
+  // Line-id map capacity: at least 2^15 slots even for the tiny tables the
+  // aliasing tests use (aliasing is modelled by the *table* wrap, not by
+  // running out of ids), at most 2^24; limit insertions to half capacity so
+  // probes always terminate.
+  const int id_bits = std::min(std::max(cfg.table_bits, 14) + 1, 24);
+  id_mask_ = (1ULL << id_bits) - 1;
+  line_id_limit_ = 1u << (id_bits - 1);
+  line_keys_ = std::vector<std::atomic<std::uint64_t>>(1ULL << id_bits);
+  line_ids_ = std::vector<std::atomic<std::uint32_t>>(1ULL << id_bits);
   descriptors_.reserve(static_cast<std::size_t>(cfg.max_threads));
   std::uint64_t seed_state = cfg.seed;
   for (int i = 0; i < cfg.max_threads; ++i) {
@@ -58,22 +68,13 @@ void Engine::syscall(std::uint64_t cost_cycles) {
 }
 
 Engine::~Engine() {
-  if (current() == this) set_current(nullptr);
-}
-
-Engine::Descriptor& Engine::self() {
-  const int tid = platform::thread_id();
-  if (tid < 0 || tid >= cfg_.max_threads)
-    throw std::logic_error(
-        "htm::Engine: calling thread has no dense id (use ThreadIdScope or "
-        "run under sim::Simulator), or id >= EngineConfig::max_threads");
-  return *descriptors_[static_cast<std::size_t>(tid)];
-}
-
-bool Engine::in_tx() noexcept {
-  const int tid = platform::thread_id();
-  if (tid < 0 || tid >= cfg_.max_threads) return false;
-  return descriptors_[static_cast<std::size_t>(tid)]->depth > 0;
+  // Clear only slots that still point at this engine: the thread-local one
+  // unconditionally, the process-wide one with a CAS so destroying an
+  // engine on one worker thread never clears another worker's install.
+  if (t_current == this) t_current = nullptr;
+  Engine* expected = this;
+  g_current.compare_exchange_strong(expected, nullptr,
+                                    std::memory_order_acq_rel);
 }
 
 void Engine::abort_tx(std::uint8_t code) {
@@ -160,6 +161,68 @@ std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
       continue;
     }
     const std::uint64_t val = cell.load(std::memory_order_acquire);
+    const std::uint64_t v2 = table_[line].load(std::memory_order_acquire);
+    if (v1 != v2) continue;
+    if (v1 > d.rv) extend(d);  // throws AbortException on failure
+    d.reads.push_back(ReadEntry{line, v1});
+    return val;
+  }
+}
+
+std::uint64_t Engine::tx_read_line_or(const std::atomic<std::uint64_t>* first,
+                                      std::size_t n) {
+  Descriptor& d = self();
+  assert(d.depth > 0 && "tx_read_line_or outside a transaction");
+  assert(n >= 1 && n <= 8 && "a 64-byte line holds at most 8 words");
+  platform::advance(g_costs.load);  // one line-granular load
+  maybe_spurious(d);
+
+  // OR of the transaction's view of the n words: the redo log is
+  // word-granular, so a word this transaction already wrote is substituted
+  // from the log instead of loaded from memory.
+  const auto load_or = [&] {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!d.writes.empty()) {
+        const auto waddr = reinterpret_cast<std::uintptr_t>(first + i);
+        if (const std::uint32_t* idx = d.write_words.find(waddr)) {
+          acc |= d.writes[*idx].value;
+          continue;
+        }
+      }
+      acc |= first[i].load(std::memory_order_acquire);
+    }
+    return acc;
+  };
+
+  if (d.is_rot) return load_or();
+
+  const auto addr = reinterpret_cast<std::uintptr_t>(first);
+  const std::uint32_t line = line_of(addr);
+  bool inserted = false;
+  std::uint32_t& slot = d.read_lines.get_or_insert(
+      line, static_cast<std::uint32_t>(d.reads.size()), inserted);
+  if (!inserted) {
+    // Line already in the read set: same stability protocol as tx_read.
+    const std::uint64_t recorded = d.reads[slot].version;
+    if (table_[line].load(std::memory_order_acquire) != recorded)
+      abort_internal(AbortCause::kConflict);
+    const std::uint64_t val = load_or();
+    if (table_[line].load(std::memory_order_acquire) != recorded)
+      abort_internal(AbortCause::kConflict);
+    return val;
+  }
+
+  if (d.reads.size() + 1 > d.cap_read_lines.load(std::memory_order_relaxed))
+    abort_internal(AbortCause::kCapacity);
+
+  for (;;) {
+    const std::uint64_t v1 = table_[line].load(std::memory_order_acquire);
+    if ((v1 & kLockedBit) != 0) {  // a commit is mid-publish on this line
+      platform::pause();
+      continue;
+    }
+    const std::uint64_t val = load_or();
     const std::uint64_t v2 = table_[line].load(std::memory_order_acquire);
     if (v1 != v2) continue;
     if (v1 > d.rv) extend(d);  // throws AbortException on failure

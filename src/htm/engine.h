@@ -53,6 +53,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "common/costs.h"
@@ -139,11 +140,29 @@ class Engine {
   [[noreturn]] void abort_tx(std::uint8_t code);
 
   /// True when the calling thread is inside a transaction on this engine.
-  bool in_tx() noexcept;
+  /// Inline: Shared<T> consults it on every plain access, which makes it
+  /// one of the hottest functions of the whole bench pipeline.
+  bool in_tx() noexcept {
+    const int tid = platform::thread_id();
+    if (tid < 0 || tid >= cfg_.max_threads) return false;
+    return descriptors_[static_cast<std::size_t>(tid)]->depth > 0;
+  }
 
   // --- word accessors (used by Shared<T>; see shared.h) -------------------
   std::uint64_t tx_read(const std::atomic<std::uint64_t>& cell);
   void tx_write(std::atomic<std::uint64_t>& cell, std::uint64_t v);
+
+  /// Line-granular transactional summary read: returns the bitwise OR of
+  /// `n` consecutive 8-byte cells that all live on the cache line owning
+  /// `first` (n <= 8; the caller guarantees the cells share the line, e.g.
+  /// an aligned_vector of Shared words). Costs one load charge and one
+  /// read-set entry — the coherence-granularity equivalent of reading the
+  /// whole line at once, which is what SpRWL's batched commit-time reader
+  /// scan models. Conflict detection is identical to reading each word with
+  /// tx_read: the line's version is subscribed, so any concurrent publish
+  /// to it (e.g. a reader flag store) aborts this transaction.
+  std::uint64_t tx_read_line_or(const std::atomic<std::uint64_t>* first,
+                                std::size_t n);
 
   /// Strong-isolation plain store: a lock-free publish on the owning
   /// line's versioned lock. Invalidates the line in every live
@@ -181,10 +200,24 @@ class Engine {
   EngineStats stats() const;
   void reset_stats();
 
-  /// The process-wide "installed HTM", consulted by Shared<T>. Tests and
-  /// harnesses install an engine with EngineScope.
-  static Engine* current() noexcept { return g_current.load(std::memory_order_acquire); }
-  static void set_current(Engine* e) noexcept { g_current.store(e, std::memory_order_release); }
+  /// The "installed HTM", consulted by Shared<T>. Tests and harnesses
+  /// install an engine with EngineScope. Resolution is thread-local first,
+  /// then the process-wide fallback:
+  ///  * a scope installed on the current OS thread (each parallel bench
+  ///    worker runs its own Simulator + Engine; fibers share the worker's
+  ///    thread, so they see their point's engine with no cross-worker
+  ///    races on the global word);
+  ///  * otherwise the process-wide engine (the real-thread stress tests
+  ///    install one scope on the main thread and spawn std::threads that
+  ///    must all see it).
+  static Engine* current() noexcept {
+    if (t_current != nullptr) return t_current;
+    return g_current.load(std::memory_order_acquire);
+  }
+  static void set_current(Engine* e) noexcept {
+    t_current = e;
+    g_current.store(e, std::memory_order_release);
+  }
 
  private:
   struct ReadEntry {
@@ -226,9 +259,60 @@ class Engine {
 
   static constexpr std::uint64_t kLockedBit = 1ULL << 63;
 
-  Descriptor& self();
-  std::uint32_t line_of(std::uintptr_t addr) const noexcept {
-    return static_cast<std::uint32_t>(detail::mix64(addr >> 6) & table_mask_);
+  // Inline for the same reason as in_tx(): every tx_read/tx_write starts
+  // by resolving the calling thread's descriptor.
+  Descriptor& self() {
+    const int tid = platform::thread_id();
+    if (tid < 0 || tid >= cfg_.max_threads) {
+      throw std::logic_error(
+          "htm::Engine: calling thread has no dense id (use ThreadIdScope "
+          "or run under sim::Simulator), or id >= EngineConfig::max_threads");
+    }
+    return *descriptors_[static_cast<std::size_t>(tid)];
+  }
+
+  /// Cache-line → version-table index. Indices are dense ids handed out in
+  /// *first-touch order* (lock-free open-addressing map keyed by the line
+  /// address), not an address hash: heap addresses vary run to run (ASLR,
+  /// allocator history), and hashing them made version-table aliasing — and
+  /// therefore abort counts — address-dependent. First-touch order is part
+  /// of the deterministic schedule, so with dense ids two runs of the same
+  /// seeded workload behave identically, across processes and regardless of
+  /// which bench worker thread hosts the point. Ids past the table size
+  /// wrap (deterministic aliasing — tests use tiny tables to force it); if
+  /// the id map itself fills up, later lines deterministically-insertion-
+  /// ordered no more and fall back to the address hash (never hit by the
+  /// shipped workloads; the map holds line_id_limit_ lines).
+  std::uint32_t line_of(std::uintptr_t addr) noexcept {
+    const std::uint64_t key = (addr >> 6) + 1;  // +1: 0 marks an empty slot
+    std::size_t s = static_cast<std::size_t>(detail::mix64(key)) & id_mask_;
+    for (;;) {
+      const std::uint64_t k = line_keys_[s].load(std::memory_order_acquire);
+      if (k == key) {
+        std::uint32_t id;
+        // The id is published right after the key CAS; the spin is only
+        // observable from a racing real thread.
+        while ((id = line_ids_[s].load(std::memory_order_acquire)) == 0) {
+        }
+        return (id - 1) & static_cast<std::uint32_t>(table_mask_);
+      }
+      if (k == 0) {
+        if (next_line_id_.load(std::memory_order_relaxed) >= line_id_limit_) {
+          return static_cast<std::uint32_t>(detail::mix64(addr >> 6) &
+                                            table_mask_);
+        }
+        std::uint64_t expected = 0;
+        if (line_keys_[s].compare_exchange_strong(expected, key,
+                                                  std::memory_order_acq_rel)) {
+          const std::uint32_t id =
+              next_line_id_.fetch_add(1, std::memory_order_relaxed);
+          line_ids_[s].store(id + 1, std::memory_order_release);
+          return id & static_cast<std::uint32_t>(table_mask_);
+        }
+        continue;  // lost the claim race: re-inspect the slot
+      }
+      s = (s + 1) & id_mask_;
+    }
   }
 
   void begin_attempt(Descriptor& d, bool rot);
@@ -272,6 +356,13 @@ class Engine {
   std::atomic<double> spurious_rate_;
   std::uint64_t table_mask_;
   std::vector<std::atomic<std::uint64_t>> table_;
+  // First-touch line-id map (see line_of): open addressing, keys are
+  // (addr >> 6) + 1, values are dense id + 1 (0 = unpublished).
+  std::uint64_t id_mask_ = 0;
+  std::uint32_t line_id_limit_ = 0;
+  std::vector<std::atomic<std::uint64_t>> line_keys_;
+  std::vector<std::atomic<std::uint32_t>> line_ids_;
+  std::atomic<std::uint32_t> next_line_id_{0};
   std::atomic<std::uint64_t> gvc_{0};
   std::atomic<bool> commit_locked_{false};
   std::atomic<int> commit_waiters_{0};
@@ -286,20 +377,38 @@ class Engine {
   std::vector<std::unique_ptr<Descriptor>> descriptors_;
 
   static std::atomic<Engine*> g_current;
+  static thread_local Engine* t_current;
+
+  friend class EngineScope;
 };
 
-/// RAII installer for the process-wide engine.
+/// RAII installer for the calling thread's engine (and the process-wide
+/// fallback — see Engine::current()). Both slots are saved and restored, so
+/// scopes nest; the global slot is restored with a compare-exchange so a
+/// scope on one worker thread never stomps an engine another worker
+/// installed concurrently.
 class EngineScope {
  public:
-  explicit EngineScope(Engine& e) noexcept : prev_(Engine::current()) {
-    Engine::set_current(&e);
+  explicit EngineScope(Engine& e) noexcept
+      : installed_(&e),
+        prev_tl_(Engine::t_current),
+        prev_g_(Engine::g_current.load(std::memory_order_acquire)) {
+    Engine::t_current = &e;
+    Engine::g_current.store(&e, std::memory_order_release);
   }
-  ~EngineScope() { Engine::set_current(prev_); }
+  ~EngineScope() {
+    Engine::t_current = prev_tl_;
+    Engine* expected = installed_;
+    Engine::g_current.compare_exchange_strong(expected, prev_g_,
+                                              std::memory_order_acq_rel);
+  }
   EngineScope(const EngineScope&) = delete;
   EngineScope& operator=(const EngineScope&) = delete;
 
  private:
-  Engine* prev_;
+  Engine* installed_;
+  Engine* prev_tl_;
+  Engine* prev_g_;
 };
 
 }  // namespace sprwl::htm

@@ -37,6 +37,12 @@
 namespace sprwl::htm {
 
 template <class T>
+class Shared;
+
+std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
+                      std::size_t n);
+
+template <class T>
 class Shared {
   static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
                 "Shared<T> requires a trivially copyable T of at most 8 bytes");
@@ -94,6 +100,9 @@ class Shared {
   void raw_store(T v) noexcept { cell_.store(encode(v), std::memory_order_relaxed); }
 
  private:
+  friend std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
+                               std::size_t n);
+
   static std::uint64_t encode(T v) noexcept {
     std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(T));
@@ -155,6 +164,20 @@ class SharedString {
   Shared<std::uint32_t> size_;
   Shared<std::uint64_t> words_[kWords];
 };
+
+/// Transactional OR-summary of `n` consecutive Shared<uint64_t> cells that
+/// share one 64-byte cache line (n <= 8; e.g. a 64-byte-aligned
+/// aligned_vector of per-thread state words). One load charge, one
+/// read-set entry — SpRWL's batched commit-time reader scan reads a whole
+/// line of flags per step instead of one word. Must be called inside a
+/// transaction on `e`. Shared<uint64_t> is exactly its 8-byte cell, so
+/// consecutive elements map to consecutive words of the line.
+inline std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
+                             std::size_t n) {
+  static_assert(sizeof(Shared<std::uint64_t>) == sizeof(std::uint64_t),
+                "Shared<uint64_t> must be exactly its cell");
+  return e.tx_read_line_or(&first->cell_, n);
+}
 
 /// Full memory fence, charged to virtual time. The paper's readers issue
 /// one after publishing their state flag and one before clearing it.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <cxxabi.h>
 #include <exception>
+#include <queue>
 #include <thread>
 
 #include "common/costs.h"
@@ -68,6 +69,42 @@ void eh_switch(unsigned char* save_to, const unsigned char* restore_from) {
   auto* live = reinterpret_cast<unsigned char*>(abi::__cxa_get_globals());
   std::memcpy(save_to, live, kEhStateBytes);
   std::memcpy(live, restore_from, kEhStateBytes);
+}
+
+// Thread-local fiber stack pool: every bench data point spins up its own
+// Simulator (often dozens of fibers), and a fresh make_unique<char[]>
+// zero-initializes the whole 256 KB stack — ~14 MB of memset per 56-fiber
+// run, repeated per point. Recycling keeps the stacks warm and skips the
+// zeroing (fibers fully initialize every frame they use; recycled garbage
+// is unobservable, so determinism is unaffected). Pool access is
+// single-threaded by construction: a Simulator's run() executes entirely
+// on one OS thread.
+struct StackPool {
+  std::size_t bytes = 0;
+  std::vector<std::unique_ptr<char[]>> free_list;
+};
+thread_local StackPool t_stack_pool;
+constexpr std::size_t kMaxPooledStacks = 128;
+
+std::unique_ptr<char[]> acquire_stack(std::size_t bytes) {
+  StackPool& pool = t_stack_pool;
+  if (pool.bytes == bytes && !pool.free_list.empty()) {
+    std::unique_ptr<char[]> s = std::move(pool.free_list.back());
+    pool.free_list.pop_back();
+    return s;
+  }
+  return std::unique_ptr<char[]>(new char[bytes]);  // uninitialized
+}
+
+void release_stack(std::size_t bytes, std::unique_ptr<char[]> s) {
+  StackPool& pool = t_stack_pool;
+  if (pool.bytes != bytes) {
+    pool.free_list.clear();  // size changed: the old stacks are useless
+    pool.bytes = bytes;
+  }
+  if (pool.free_list.size() < kMaxPooledStacks) {
+    pool.free_list.push_back(std::move(s));
+  }
 }
 
 }  // namespace
@@ -138,12 +175,94 @@ Simulator::~Simulator() {
 #endif
 }
 
+// --- indexed 4-ary min-heap -------------------------------------------------
+//
+// Flat array of (time, id) ordered by less_than; heap_pos_[id] = slot + 1.
+// 4-ary: children of slot i are 4i+1..4i+4 — half the tree height of a
+// binary heap and the four children share one cache line, so a sift-down
+// touches fewer lines than std::priority_queue's binary layout.
+
+void Simulator::heap_push(Entry e) {
+  ++stats_.heap_pushes;
+  heap_.push_back(e);
+  heap_sift_up(heap_.size() - 1);
+}
+
+Simulator::Entry Simulator::heap_pop() {
+  ++stats_.heap_pops;
+  const Entry top = heap_.front();
+  heap_pos_[static_cast<std::size_t>(top.id())] = 0;
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    heap_pos_[static_cast<std::size_t>(last.id())] = 1;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+Simulator::Entry Simulator::heap_replace_top(Entry e) {
+  ++stats_.heap_pushes;
+  ++stats_.heap_pops;
+  const Entry top = heap_.front();
+  heap_pos_[static_cast<std::size_t>(top.id())] = 0;
+  heap_.front() = e;
+  heap_pos_[static_cast<std::size_t>(e.id())] = 1;
+  heap_sift_down(0);
+  return top;
+}
+
+void Simulator::heap_sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!e.less_than(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i].id())] = static_cast<std::uint32_t>(i + 1);
+    i = parent;
+  }
+  heap_[i] = e;
+  heap_pos_[static_cast<std::size_t>(e.id())] = static_cast<std::uint32_t>(i + 1);
+}
+
+void Simulator::heap_sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].less_than(heap_[best])) best = c;
+    }
+    if (!heap_[best].less_than(e)) break;
+    heap_[i] = heap_[best];
+    heap_pos_[static_cast<std::size_t>(heap_[i].id())] = static_cast<std::uint32_t>(i + 1);
+    i = best;
+  }
+  heap_[i] = e;
+  heap_pos_[static_cast<std::size_t>(e.id())] = static_cast<std::uint32_t>(i + 1);
+}
+
+// --- context switching ------------------------------------------------------
+
 void Simulator::fiber_body(Fiber& f) {
 #if SPRWL_ASAN_FIBERS
-  // First activation of this fiber: complete the switch the scheduler
-  // started, and learn the scheduler's stack bounds for later yields.
-  __sanitizer_finish_switch_fiber(nullptr, &f.sim->sched_stack_bottom_,
-                                  &f.sim->sched_stack_size_);
+  // First activation of this fiber: complete the switch whoever started
+  // it began. The origin stack bounds are the scheduler's only when the
+  // activation came from schedule_loop — under direct switching it can be
+  // another fiber, whose bounds must not overwrite the scheduler's.
+  {
+    const void* from_bottom = nullptr;
+    std::size_t from_size = 0;
+    __sanitizer_finish_switch_fiber(nullptr, &from_bottom, &from_size);
+    if (f.sim->from_scheduler_) {
+      f.sim->sched_stack_bottom_ = from_bottom;
+      f.sim->sched_stack_size_ = from_size;
+    }
+  }
 #endif
   try {
     (*f.sim->body_)(f.id);
@@ -157,6 +276,7 @@ void Simulator::fiber_body(Fiber& f) {
 
 void Simulator::switch_to_fiber(Fiber& f) {
   t_entering_fiber = &f;  // consumed only on a fiber's first activation
+  from_scheduler_ = true;
   eh_switch(sched_eh_state_, f.eh_state);
 #if SPRWL_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&sched_fake_stack_, f.stack.get(),
@@ -176,7 +296,7 @@ void Simulator::yield_to_scheduler(Fiber& f) {
 #endif
   sprwl_ctx_switch(&f.rsp, sched_rsp_);
 #if SPRWL_ASAN_FIBERS
-  // Resumed: the scheduler finished its half of the switch back to us.
+  // Resumed: whoever switched back to us finished their half.
   __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
 #endif
 }
@@ -208,6 +328,7 @@ void Simulator::prepare_fiber(Fiber& f) {
 
 void Simulator::switch_to_fiber(Fiber& f) {
   t_entering_fiber = &f;
+  from_scheduler_ = true;
   eh_switch(sched_eh_state_, f.eh_state);
 #if SPRWL_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&sched_fake_stack_, f.stack.get(),
@@ -262,6 +383,48 @@ void Simulator::prepare_fiber(Fiber& f) {
 
 #endif
 
+// Fiber→fiber handoff: the yielding fiber f re-queues itself, takes the
+// heap minimum m and switches straight to m's stack — the scheduler stack
+// is not touched, halving the context switches of a yield. Schedule
+// equivalence with the trampoline: f yields only because f.time >
+// next_wake_ (the heap minimum's time), so push-self-then-extract-min
+// selects exactly the entry the trampoline's pop would have returned (and
+// never f itself — strict inequality). The push+pop pair is fused into one
+// heap_replace_top: identical result, one sift instead of three.
+void Simulator::direct_switch_from(Fiber& f) {
+  const Entry e = heap_replace_top(Entry::make(f.time, f.id));
+  Fiber& m = *fibers_[static_cast<std::size_t>(e.id())];
+  next_wake_ = heap_top().time();  // non-empty: f itself is queued
+  running_ = &m;
+  platform::set_context(&m.exec_ctx);
+  ++stats_.switches;
+  ++stats_.direct_switches;
+  t_entering_fiber = &m;  // consumed only on m's first activation
+  from_scheduler_ = false;
+  eh_switch(f.eh_state, m.eh_state);
+#if SPRWL_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&f.fake_stack, m.stack.get(),
+                                 cfg_.stack_bytes);
+#endif
+#if SPRWL_FAST_FIBERS
+  sprwl_ctx_switch(&f.rsp, m.rsp);
+#else
+  swapcontext(&f.ctx, &m.ctx);
+#endif
+#if SPRWL_ASAN_FIBERS
+  // Resumed: whoever switched back to us finished their half.
+  __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+#endif
+}
+
+void Simulator::yield_from(Fiber& f) {
+  if (direct_switch_) {
+    direct_switch_from(f);
+  } else {
+    yield_to_scheduler(f);
+  }
+}
+
 void Simulator::deschedule_current_until(std::uint64_t until) {
   if (running_ == nullptr) return;  // not called from a fiber: nothing to do
   ++preemptions_;
@@ -270,8 +433,22 @@ void Simulator::deschedule_current_until(std::uint64_t until) {
 
 void Simulator::run(int nthreads, const std::function<void(int)>& body) {
   if (nthreads <= 0) return;
+  // Packed ready-set keys (see Entry) bound the fiber count and the
+  // representable virtual time; both limits are far beyond every use.
+  if (nthreads > (1 << Entry::kIdBits))
+    throw std::invalid_argument("Simulator: more than 1024 fibers");
+  if (cfg_.max_virtual_time >= (1ULL << (64 - Entry::kIdBits)))
+    throw std::invalid_argument("Simulator: max_virtual_time >= 2^54");
   body_ = &body;
+  direct_switch_ = cfg_.direct_switch && !cfg_.legacy_ready_queue;
+  // Defensive per-run reset: results always describe this run, whatever
+  // state a previous run (or an exception unwinding out of one) left.
   preemptions_ = 0;
+  final_time_ = 0;
+  stats_ = SimStats{};
+  heap_.clear();
+  heap_pos_.assign(static_cast<std::size_t>(nthreads), 0);
+  heap_.reserve(static_cast<std::size_t>(nthreads));
   fibers_.clear();
   fibers_.reserve(static_cast<std::size_t>(nthreads));
 
@@ -280,24 +457,34 @@ void Simulator::run(int nthreads, const std::function<void(int)>& body) {
     f->id = i;
     f->jitter = static_cast<std::uint32_t>(i) * 2654435761u + 1u;
     f->sim = this;
-    f->stack = std::make_unique<char[]>(cfg_.stack_bytes);
+    // Legacy mode reproduces the original allocation behavior: a fresh
+    // zero-initialized stack per fiber per run, nothing pooled.
+    f->stack = cfg_.legacy_ready_queue
+                   ? std::make_unique<char[]>(cfg_.stack_bytes)
+                   : acquire_stack(cfg_.stack_bytes);
     f->exec_ctx.sim = this;
     f->exec_ctx.fiber = f.get();
     prepare_fiber(*f);
-    ready_.push(Entry{0, i});
+    if (!cfg_.legacy_ready_queue) heap_push(Entry::make(0, i));
     fibers_.push_back(std::move(f));
   }
 
-  schedule_loop();
+  if (cfg_.legacy_ready_queue) {
+    schedule_loop_legacy();
+  } else {
+    schedule_loop();
+  }
 
-  final_time_ = 0;
   std::exception_ptr first_error;
   std::uint64_t first_error_time = ~0ULL;
-  for (const auto& f : fibers_) {
+  for (auto& f : fibers_) {
     final_time_ = std::max(final_time_, f->time);
     if (f->error && f->time < first_error_time) {
       first_error = f->error;
       first_error_time = f->time;
+    }
+    if (!cfg_.legacy_ready_queue) {
+      release_stack(cfg_.stack_bytes, std::move(f->stack));
     }
   }
   fibers_.clear();
@@ -306,26 +493,72 @@ void Simulator::run(int nthreads, const std::function<void(int)>& body) {
 }
 
 void Simulator::schedule_loop() {
-  while (!ready_.empty()) {
-    const Entry e = ready_.top();
-    ready_.pop();
-    Fiber& f = *fibers_[static_cast<std::size_t>(e.id)];
-    next_wake_ = ready_.empty() ? ~0ULL : ready_.top().time;
+  while (!heap_empty()) {
+    const Entry e = heap_pop();
+    Fiber& f = *fibers_[static_cast<std::size_t>(e.id())];
+    next_wake_ = heap_empty() ? ~0ULL : heap_top().time();
     platform::set_context(&f.exec_ctx);
     running_ = &f;
+    ++stats_.switches;
     switch_to_fiber(f);
+    // Under direct switching control returns here only when a fiber
+    // *exits*, and `running_` then names that fiber (not necessarily f —
+    // the handoffs moved on). Under the trampoline it is f, yielded or
+    // done, exactly as before.
+    Fiber& ran = *running_;
     running_ = nullptr;
     platform::set_context(nullptr);
-    if (!f.done) ready_.push(Entry{f.time, f.id});
+    if (!ran.done) heap_push(Entry::make(ran.time, ran.id));
     // If a fiber errored out, the remaining ones either finish or hit the
     // virtual-time limit deterministically; run() reports the earliest error.
+  }
+}
+
+// The pre-overhaul scheduler, preserved verbatim in behavior as the
+// measurable wall-clock baseline (SimConfig::legacy_ready_queue): binary
+// std::priority_queue ready set, every activation through the trampoline.
+// It produces the exact same schedule as schedule_loop + direct switching,
+// just slower — perf_pipeline quantifies by how much.
+void Simulator::schedule_loop_legacy() {
+  // The original two-field entry with a field-wise comparator, not the
+  // packed key the new heap uses — the baseline must not inherit the
+  // overhaul's representation wins.
+  struct LegacyEntry {
+    std::uint64_t time;
+    int id;
+    bool operator>(const LegacyEntry& o) const noexcept {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+  std::priority_queue<LegacyEntry, std::vector<LegacyEntry>,
+                      std::greater<LegacyEntry>>
+      ready;
+  for (auto& f : fibers_) ready.push(LegacyEntry{f->time, f->id});
+  stats_.heap_pushes += fibers_.size();
+  while (!ready.empty()) {
+    const LegacyEntry e = ready.top();
+    ready.pop();
+    ++stats_.heap_pops;
+    Fiber& f = *fibers_[static_cast<std::size_t>(e.id)];
+    next_wake_ = ready.empty() ? ~0ULL : ready.top().time;
+    platform::set_context(&f.exec_ctx);
+    running_ = &f;
+    ++stats_.switches;
+    switch_to_fiber(f);
+    Fiber& ran = *running_;
+    running_ = nullptr;
+    platform::set_context(nullptr);
+    if (!ran.done) {
+      ready.push(LegacyEntry{ran.time, ran.id});
+      ++stats_.heap_pushes;
+    }
   }
 }
 
 void Simulator::fiber_advance(Fiber& f, std::uint64_t cycles) {
   f.time += cycles;
   if (f.time > cfg_.max_virtual_time) throw SimTimeLimitError(f.time);
-  if (f.time > next_wake_) yield_to_scheduler(f);
+  if (f.time > next_wake_) yield_from(f);
 }
 
 void Simulator::fiber_wait_until(Fiber& f, std::uint64_t t) {
@@ -333,7 +566,7 @@ void Simulator::fiber_wait_until(Fiber& f, std::uint64_t t) {
     f.time = t;
     if (f.time > cfg_.max_virtual_time) throw SimTimeLimitError(f.time);
   }
-  if (f.time > next_wake_) yield_to_scheduler(f);
+  if (f.time > next_wake_) yield_from(f);
 }
 
 void run_real_threads(int nthreads, const std::function<void(int)>& body) {
@@ -368,6 +601,5 @@ extern "C" void sprwl_fiber_main() {
   sprwl::sim::t_entering_fiber = nullptr;
   sprwl::sim::Simulator::fiber_body(*f);
   sprwl::sim::Simulator::exit_fiber(*f);
-  __builtin_unreachable();
 }
 #endif

@@ -27,6 +27,28 @@
 // virtual time and yields, so the scheduler always makes progress. A
 // configurable virtual-time limit converts livelock bugs into test failures.
 //
+// Scheduler hot path (this is the inner loop of every benchmark, so its
+// wall-clock cost gates the whole evaluation pipeline):
+//
+//  * the ready set is an indexed 4-ary min-heap of (time, id) — flatter
+//    than a binary heap (half the levels for the same fiber count, and the
+//    four children of a node share a cache line), with a fiber-id → slot
+//    index maintained alongside for O(1) membership;
+//  * when a yielding fiber already knows the next runnable fiber (the heap
+//    minimum), it switches to it *directly* instead of bouncing through the
+//    scheduler stack — one context switch per handoff instead of two, which
+//    halves switches on ping-pong workloads (SimConfig::direct_switch;
+//    disable to get the classic trampoline, kept as the measurable
+//    baseline for bench/perf_pipeline). The schedule is identical either
+//    way: a fiber yields only when its clock passed the heap minimum, so
+//    push-self-then-pop-min selects exactly the fiber the trampoline's
+//    pop would have selected;
+//  * fiber stacks are recycled through a thread-local pool instead of being
+//    freshly allocated (and zeroed) for every run() — a 56-fiber run reuses
+//    ~14 MB of stacks that would otherwise be re-touched per data point;
+//  * SimStats counts switches, direct switches and heap traffic so the
+//    perf trajectory (BENCH_perf.json) can report switches/sec.
+//
 // Context switching uses a ~20ns hand-rolled x86-64 switch (glibc
 // swapcontext would issue a sigprocmask syscall per switch); other
 // architectures fall back to ucontext.
@@ -35,7 +57,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -51,6 +72,25 @@ struct SimConfig {
   /// 20e9 cycles = 10 virtual seconds at the default 2 GHz — far beyond any
   /// test or bench window, small enough that deadlock tests fail fast.
   std::uint64_t max_virtual_time = 20ULL * 1000 * 1000 * 1000;
+  /// Fiber→fiber handoff without the scheduler trampoline (see the header
+  /// comment). Schedules are bit-identical with it on or off; off costs one
+  /// extra context switch per yield and exists as the measurable baseline.
+  bool direct_switch = true;
+  /// Faithful reproduction of the original scheduler for perf baselines
+  /// (bench/perf_pipeline's "serial_old" mode): ready set in a binary
+  /// std::priority_queue, a fresh zero-initialized stack per fiber per
+  /// run() (no pooling), always through the trampoline (direct_switch is
+  /// ignored). The schedule — and therefore every virtual-time result — is
+  /// bit-identical to the default scheduler; only wall-clock cost differs.
+  bool legacy_ready_queue = false;
+};
+
+/// Cheap per-run scheduler counters (reset at every run() entry).
+struct SimStats {
+  std::uint64_t switches = 0;         ///< activations: control entered a fiber
+  std::uint64_t direct_switches = 0;  ///< activations done fiber→fiber
+  std::uint64_t heap_pushes = 0;
+  std::uint64_t heap_pops = 0;
 };
 
 class SimTimeLimitError : public std::runtime_error {
@@ -71,6 +111,16 @@ class Simulator {
   /// Blocks until every fiber finished. Rethrows the first fiber error (the
   /// one earliest in virtual time); remaining fibers still run to
   /// completion (or to the virtual-time limit).
+  ///
+  /// Reuse semantics: a Simulator may run any number of workloads back to
+  /// back. Every run() resets the per-run results (final_time(),
+  /// preemptions(), stats()) at entry — they always describe the most
+  /// recent run, never an accumulation — and recycles fiber stacks through
+  /// a thread-local pool, so repeated runs do not re-allocate. run(0) is a
+  /// no-op that leaves the previous run's results readable. A Simulator is
+  /// single-threaded: run() must not be called concurrently from two OS
+  /// threads, but different Simulators on different threads are fine (the
+  /// parallel bench runner relies on exactly that).
   void run(int nthreads, const std::function<void(int)>& body);
 
   /// Virtual time at which the last fiber of the previous run() finished.
@@ -87,6 +137,9 @@ class Simulator {
   /// Count of deschedule_current_until() preemptions in the current/last run.
   std::uint64_t preemptions() const noexcept { return preemptions_; }
 
+  /// Scheduler counters for the current/last run.
+  const SimStats& stats() const noexcept { return stats_; }
+
   // --- internal (public for the assembly entry thunk) ----------------------
   struct Fiber;
   static void fiber_body(Fiber& f);
@@ -95,24 +148,53 @@ class Simulator {
  private:
   struct FiberContext;
 
+  // Ready-set key, packed as (time << kIdBits) | id so the scheduling
+  // order (time, then id) is a single integer compare and four heap
+  // children fit in half a cache line. Capacity bounds enforced at run()
+  // entry: at most 2^kIdBits fibers, virtual times below 2^(64 - kIdBits)
+  // (the default 20e9-cycle limit is ~2^20 below that ceiling).
   struct Entry {
-    std::uint64_t time;
-    int id;
-    bool operator>(const Entry& o) const noexcept {
-      return time != o.time ? time > o.time : id > o.id;
+    std::uint64_t key;
+    static constexpr int kIdBits = 10;
+    static Entry make(std::uint64_t time, int id) noexcept {
+      return Entry{(time << kIdBits) | static_cast<std::uint64_t>(id)};
     }
+    std::uint64_t time() const noexcept { return key >> kIdBits; }
+    int id() const noexcept {
+      return static_cast<int>(key & ((1u << kIdBits) - 1));
+    }
+    bool less_than(const Entry& o) const noexcept { return key < o.key; }
   };
 
   void schedule_loop();
+  void schedule_loop_legacy();
   void fiber_advance(Fiber& f, std::uint64_t cycles);
   void fiber_wait_until(Fiber& f, std::uint64_t t);
+  void yield_from(Fiber& f);
   void yield_to_scheduler(Fiber& f);
+  void direct_switch_from(Fiber& f);
   void switch_to_fiber(Fiber& f);
   void prepare_fiber(Fiber& f);
 
+  // Indexed 4-ary min-heap over (time, id); heap_pos_[id] is slot+1 (0 =
+  // not queued). See the header comment for why not std::priority_queue.
+  bool heap_empty() const noexcept { return heap_.empty(); }
+  const Entry& heap_top() const noexcept { return heap_.front(); }
+  void heap_push(Entry e);
+  Entry heap_pop();
+  /// Pops the minimum and inserts `e` in one sift (classic heap replace).
+  /// The direct-switch path uses it with e = the yielding fiber, whose time
+  /// only just passed the old minimum — the sift usually exits after one
+  /// level, where pop-then-push would sink the array tail down the whole
+  /// tree and then bubble `e` up again.
+  Entry heap_replace_top(Entry e);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
   SimConfig cfg_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> ready_;
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> heap_pos_;
   const std::function<void(int)>* body_ = nullptr;
   void* sched_rsp_ = nullptr;  // x86-64 fast path save slot
   void* main_ctx_ = nullptr;   // ucontext fallback
@@ -123,13 +205,19 @@ class Simulator {
   // yield inside catch handlers pop each other's in-flight exception
   // objects (see simulator.cpp).
   unsigned char sched_eh_state_[2 * sizeof(void*)] = {};
-  // AddressSanitizer fiber bookkeeping; unused outside ASan builds.
+  // AddressSanitizer fiber bookkeeping; unused outside ASan builds. A
+  // fiber's first activation may now come from another fiber (direct
+  // switch), so fiber_body only records the origin stack as the scheduler's
+  // when from_scheduler_ says the activation came from schedule_loop.
   void* sched_fake_stack_ = nullptr;
   const void* sched_stack_bottom_ = nullptr;
   std::size_t sched_stack_size_ = 0;
+  bool from_scheduler_ = false;
+  bool direct_switch_ = false;  // cfg_.direct_switch, resolved at run() entry
   std::uint64_t next_wake_ = 0;
   std::uint64_t final_time_ = 0;
   std::uint64_t preemptions_ = 0;
+  SimStats stats_;
 
   friend struct FiberContext;
 };

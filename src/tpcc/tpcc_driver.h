@@ -90,8 +90,10 @@ TpccRunResult run_tpcc(sim::Simulator& sim, htm::Engine& engine, Lock& lock,
   const std::uint64_t measure_end = cfg.warmup_cycles + cfg.measure_cycles;
   const int warehouses = db.scale().warehouses;
 
+  // Installed once around the whole run, on the calling thread — see
+  // workloads/driver.h for why a per-fiber scope would be wrong.
+  htm::EngineScope scope(engine);
   sim.run(cfg.threads, [&](int tid) {
-    htm::EngineScope scope(engine);
     Rng rng(cfg.seed * 0x2545F4914F6CDD1DULL + static_cast<std::uint64_t>(tid));
     ThreadResult& mine = results[static_cast<std::size_t>(tid)];
     const int home_w = tid % warehouses + 1;

@@ -84,8 +84,14 @@ RunResult run_hashmap(sim::Simulator& sim, htm::Engine& engine, Lock& lock,
   const std::uint64_t measure_start = cfg.warmup_cycles;
   const std::uint64_t measure_end = cfg.warmup_cycles + cfg.measure_cycles;
 
+  // Installed once around the whole run (not per fiber): fibers finish at
+  // different virtual times, and a per-fiber scope would uninstall the
+  // engine under the feet of the fibers still running. Scoping on the
+  // calling thread also keeps concurrent bench workers isolated — the
+  // engine resolves through a thread-local first, and every fiber of this
+  // simulator runs on this OS thread.
+  htm::EngineScope scope(engine);
   sim.run(cfg.threads, [&](int tid) {
-    htm::EngineScope scope(engine);
     Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tid));
     ThreadResult& mine = results[static_cast<std::size_t>(tid)];
     for (;;) {

@@ -1,0 +1,109 @@
+// Determinism regression for the parallel bench runner: fanning data
+// points across a worker pool must not change a single byte of bench
+// output, and every per-point result (virtual end time included) must be
+// bit-identical to the serial run. This is the contract that lets
+// perf_pipeline's parallel mode publish the same figure data as serial.
+#include "bench/support/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench/support/hashmap_fig.h"
+
+namespace sprwl::bench {
+namespace {
+
+TEST(Runner, EmitsInSubmissionOrder) {
+  Runner runner(4);
+  std::string order;
+  for (int i = 0; i < 16; ++i) {
+    runner.submit([] {}, [&order, i] { order += static_cast<char>('a' + i); });
+  }
+  runner.drain();
+  EXPECT_EQ(order, "abcdefghijklmnop");
+}
+
+TEST(Runner, EmitOnlyTasksInterleaveWithComputes) {
+  Runner runner(3);
+  std::string order;
+  runner.submit({}, [&] { order += "H"; });  // header, no compute
+  for (int i = 0; i < 3; ++i) {
+    runner.submit([] {}, [&order] { order += "r"; });
+  }
+  runner.submit({}, [&] { order += "H"; });
+  runner.submit([] {}, [&order] { order += "r"; });
+  runner.drain();
+  EXPECT_EQ(order, "HrrrHr");
+}
+
+TEST(Runner, ComputeExceptionPropagatesAtDrain) {
+  Runner runner(2);
+  runner.submit([] { throw std::runtime_error("boom"); }, [] { FAIL(); });
+  EXPECT_THROW(runner.drain(), std::runtime_error);
+}
+
+TEST(Runner, JobsFromEnvHonorsOverride) {
+  ::setenv("SPRWL_BENCH_JOBS", "3", 1);
+  EXPECT_EQ(Runner::jobs_from_env(), 3);
+  ::setenv("SPRWL_BENCH_JOBS", "0", 1);
+  EXPECT_GE(Runner::jobs_from_env(), 1);  // invalid: fall back to hardware
+  ::unsetenv("SPRWL_BENCH_JOBS");
+  EXPECT_GE(Runner::jobs_from_env(), 1);
+}
+
+// One reduced hash-map series (three locks, two thread counts) captured
+// through SeriesOptions. Returns the concatenated rows plus each point's
+// virtual end time.
+struct SuiteCapture {
+  std::string rows;
+  std::vector<std::uint64_t> final_times;
+};
+
+SuiteCapture run_suite(int jobs, std::uint64_t seed) {
+  SuiteCapture cap;
+  SeriesOptions opt;
+  opt.out = [&cap](const std::string& s) { cap.rows += s; };
+  opt.observe = [&cap](const SeriesPoint& pt) {
+    cap.final_times.push_back(pt.final_time);
+  };
+  const Machine m = broadwell_machine();
+  HashmapFigParams p;
+  p.seed = seed;
+  p.population = 2048;
+  p.key_space = 4096;
+  p.buckets = 64;
+  p.warmup_cycles = 20'000;
+  p.measure_cycles = 100'000;
+  const std::vector<int> threads{2, 4};
+  Runner runner(jobs);
+  hashmap_series(runner, "TLE", m, p, threads, make_tle(), opt);
+  hashmap_series(runner, "RWL", m, p, threads, make_rwl(), opt);
+  hashmap_series(runner, "SpRWL", m, p, threads, make_sprwl(), opt);
+  runner.drain();
+  return cap;
+}
+
+TEST(ParallelDeterminism, ParallelOutputByteIdenticalToSerialAcrossSeeds) {
+  for (const std::uint64_t seed : {42u, 7u, 1234u}) {
+    const SuiteCapture serial = run_suite(/*jobs=*/1, seed);
+    const SuiteCapture parallel = run_suite(/*jobs=*/4, seed);
+    ASSERT_FALSE(serial.rows.empty());
+    EXPECT_EQ(serial.rows, parallel.rows) << "seed " << seed;
+    EXPECT_EQ(serial.final_times, parallel.final_times) << "seed " << seed;
+  }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+  const SuiteCapture a = run_suite(/*jobs=*/4, /*seed=*/42);
+  const SuiteCapture b = run_suite(/*jobs=*/4, /*seed=*/42);
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.final_times, b.final_times);
+}
+
+}  // namespace
+}  // namespace sprwl::bench

@@ -1,0 +1,108 @@
+// Equivalence and invariants across the three scheduler configurations:
+// direct switching (default), trampoline (direct_switch = false) and the
+// legacy priority-queue baseline (legacy_ready_queue = true). All three
+// must produce the *same schedule* — perf_pipeline's speedup claims depend
+// on the modes being interchangeable in everything but wall-clock cost.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace sprwl::sim {
+namespace {
+
+struct ModeRun {
+  std::vector<int> order;       // fiber activations in execution order
+  std::uint64_t final_time = 0;
+  SimStats stats;
+};
+
+// A heavily interleaving workload: per-fiber step costs are coprime-ish so
+// fibers constantly overtake each other and almost every advance yields.
+ModeRun run_mode(SimConfig cfg, int nfibers, int steps) {
+  Simulator sim(cfg);
+  ModeRun r;
+  sim.run(nfibers, [&](int tid) {
+    for (int i = 0; i < steps; ++i) {
+      platform::advance(static_cast<std::uint64_t>(3 + (tid * 7 + i) % 11));
+      r.order.push_back(tid);
+    }
+  });
+  r.final_time = sim.final_time();
+  r.stats = sim.stats();
+  return r;
+}
+
+TEST(SchedulerModes, IdenticalScheduleAcrossAllThreeModes) {
+  constexpr int kFibers = 9;
+  constexpr int kSteps = 200;
+  SimConfig direct;
+  direct.direct_switch = true;
+  SimConfig trampoline;
+  trampoline.direct_switch = false;
+  SimConfig legacy;
+  legacy.legacy_ready_queue = true;
+
+  const ModeRun a = run_mode(direct, kFibers, kSteps);
+  const ModeRun b = run_mode(trampoline, kFibers, kSteps);
+  const ModeRun c = run_mode(legacy, kFibers, kSteps);
+
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.order, c.order);
+  EXPECT_EQ(a.final_time, b.final_time);
+  EXPECT_EQ(a.final_time, c.final_time);
+}
+
+TEST(SchedulerModes, SwitchCountInvariants) {
+  constexpr int kFibers = 7;
+  constexpr int kSteps = 150;
+  SimConfig direct;
+  direct.direct_switch = true;
+  SimConfig trampoline;
+  trampoline.direct_switch = false;
+  SimConfig legacy;
+  legacy.legacy_ready_queue = true;
+
+  const ModeRun a = run_mode(direct, kFibers, kSteps);
+  const ModeRun b = run_mode(trampoline, kFibers, kSteps);
+  const ModeRun c = run_mode(legacy, kFibers, kSteps);
+
+  // Total activations are a property of the schedule, not the switch
+  // mechanism, so all modes agree.
+  EXPECT_EQ(a.stats.switches, b.stats.switches);
+  EXPECT_EQ(a.stats.switches, c.stats.switches);
+  EXPECT_GT(a.stats.switches, static_cast<std::uint64_t>(kFibers));
+
+  // Under direct switching the scheduler stack is entered exactly once per
+  // fiber (to start it); every other activation is fiber→fiber.
+  EXPECT_EQ(a.stats.direct_switches,
+            a.stats.switches - static_cast<std::uint64_t>(kFibers));
+
+  // The trampoline modes never switch fiber→fiber.
+  EXPECT_EQ(b.stats.direct_switches, 0u);
+  EXPECT_EQ(c.stats.direct_switches, 0u);
+}
+
+TEST(SchedulerModes, DirectSwitchHeapTrafficMatchesActivations) {
+  constexpr int kFibers = 5;
+  SimConfig direct;
+  direct.direct_switch = true;
+  const ModeRun a = run_mode(direct, kFibers, 100);
+  // Every push has a matching pop: the heap drains completely.
+  EXPECT_EQ(a.stats.heap_pushes, a.stats.heap_pops);
+}
+
+TEST(SchedulerModes, LegacyModeStatsResetBetweenRuns) {
+  SimConfig legacy;
+  legacy.legacy_ready_queue = true;
+  Simulator sim(legacy);
+  sim.run(4, [](int) { platform::advance(10); });
+  const std::uint64_t first = sim.stats().switches;
+  sim.run(4, [](int) { platform::advance(10); });
+  EXPECT_EQ(sim.stats().switches, first);  // reset, not accumulated
+}
+
+}  // namespace
+}  // namespace sprwl::sim
