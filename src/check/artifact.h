@@ -1,0 +1,39 @@
+// Failing-schedule repro artifacts.
+//
+// When the explorer finds a violation it minimizes the schedule and writes
+// `CHECK_repro_<seed>.json`: the lock name, the policy and seed that found
+// it, the workload shape, the verdict, and the minimized fiber-id choice
+// sequence. The file replays with one command:
+//
+//   build/bench/check_schedules --replay CHECK_repro_<seed>.json
+//
+// The format is a small fixed-shape JSON document written and parsed by
+// hand (the repo carries no JSON dependency).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/harness.h"
+
+namespace sprwl::check {
+
+struct ReproArtifact {
+  std::string lock;    ///< registry name (registry.h)
+  std::string policy;  ///< "dfs" or "pct"
+  std::uint64_t seed = 0;
+  Workload workload;
+  std::string violation;  ///< verdict kind + detail
+  std::vector<int> choices;  ///< minimized fiber-id schedule
+};
+
+/// Writes `dir`/CHECK_repro_<seed>.json (dir "" means the working
+/// directory) and returns the path. Throws std::runtime_error on I/O
+/// failure.
+std::string write_artifact(const ReproArtifact& a, const std::string& dir);
+
+/// Parses a file written by write_artifact. Returns false (leaving *out
+/// unspecified) if the file is missing or malformed.
+bool read_artifact(const std::string& path, ReproArtifact* out);
+
+}  // namespace sprwl::check

@@ -1,0 +1,113 @@
+#include "check/explorer.h"
+
+#include <utility>
+
+#include "check/policies.h"
+
+namespace sprwl::check {
+namespace {
+
+std::size_t expected_decisions(const Workload& w) {
+  // Rough per-run decision count for PCT change-point sampling: each op
+  // crosses a handful of sched points plus retries. Only the order of
+  // magnitude matters.
+  return static_cast<std::size_t>(w.threads) *
+             static_cast<std::size_t>(w.ops_per_thread) * 32 +
+         16;
+}
+
+void finalize_violation(const RunFn& run, const Workload& w,
+                        const ExploreOptions& opt, const char* policy_name,
+                        const RunResult& rr, const Verdict& v,
+                        ExploreReport* rep) {
+  rep->found_violation = true;
+  rep->verdict = v;
+  rep->repro =
+      minimize_trace(run, rr.choices(), v.kind, opt.minimize_budget);
+  if (!opt.artifact_dir.empty()) {
+    ReproArtifact a;
+    a.lock = opt.lock_name;
+    a.policy = policy_name;
+    a.seed = opt.seed;
+    a.workload = w;
+    a.violation = std::string(to_string(v.kind)) + ": " + v.detail;
+    a.choices = rep->repro;
+    rep->artifact_path = write_artifact(a, opt.artifact_dir);
+  }
+}
+
+}  // namespace
+
+Verdict replay_trace(const RunFn& run, const std::vector<int>& choices) {
+  ReplayPolicy p(choices);
+  return evaluate(run(p));
+}
+
+std::vector<int> minimize_trace(const RunFn& run, std::vector<int> cur,
+                                Verdict::Kind kind, int budget) {
+  std::size_t chunk = cur.size() / 2;
+  if (chunk == 0) chunk = 1;
+  while (budget > 0 && !cur.empty()) {
+    std::size_t i = 0;
+    while (i < cur.size() && budget > 0) {
+      std::vector<int> cand;
+      cand.reserve(cur.size() - 1);
+      cand.insert(cand.end(), cur.begin(),
+                  cur.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::size_t cut = std::min(i + chunk, cur.size());
+      cand.insert(cand.end(),
+                  cur.begin() + static_cast<std::ptrdiff_t>(cut), cur.end());
+      --budget;
+      if (replay_trace(run, cand).kind == kind) {
+        cur = std::move(cand);  // keep position: the next chunk shifted in
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+    chunk /= 2;
+  }
+  return cur;
+}
+
+ExploreReport explore_dfs(const RunFn& run, const Workload& w,
+                          const ExploreOptions& opt) {
+  DfsPolicy policy(opt.sleep_sets);
+  ExploreReport rep;
+  for (std::uint64_t r = 0; r < opt.max_runs; ++r) {
+    const RunResult rr = run(policy);
+    if (policy.pruned()) {
+      ++rep.pruned;
+    } else {
+      ++rep.schedules;
+      const Verdict v = evaluate(rr);
+      if (v.violation()) {
+        finalize_violation(run, w, opt, "dfs", rr, v, &rep);
+        return rep;
+      }
+    }
+    if (!policy.advance()) {
+      rep.exhausted = true;
+      break;
+    }
+  }
+  return rep;
+}
+
+ExploreReport explore_pct(const RunFn& run, const Workload& w,
+                          const ExploreOptions& opt) {
+  PctPolicy policy(opt.seed, opt.pct_depth, expected_decisions(w));
+  ExploreReport rep;
+  for (std::uint64_t r = 0; r < opt.max_runs; ++r) {
+    const RunResult rr = run(policy);
+    ++rep.schedules;
+    const Verdict v = evaluate(rr);
+    if (v.violation()) {
+      finalize_violation(run, w, opt, "pct", rr, v, &rep);
+      return rep;
+    }
+  }
+  return rep;
+}
+
+}  // namespace sprwl::check

@@ -1,0 +1,57 @@
+// Schedule-space exploration drivers: bounded-exhaustive DFS and PCT over
+// a RunFn, with trace minimization and repro-artifact emission on the
+// first violation found.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/artifact.h"
+#include "check/harness.h"
+
+namespace sprwl::check {
+
+struct ExploreOptions {
+  /// DFS: safety cap on total runs (the bounded configs stay far below it).
+  /// PCT: the number of randomized runs to execute.
+  std::uint64_t max_runs = 200000;
+  /// PCT base seed; recorded in artifacts and in the artifact file name.
+  std::uint64_t seed = 1;
+  int pct_depth = 3;
+  bool sleep_sets = true;
+  /// Replay runs the minimizer may spend shrinking a failing trace.
+  int minimize_budget = 400;
+  /// Where CHECK_repro_<seed>.json goes; empty disables artifact writing.
+  std::string artifact_dir;
+  std::string lock_name;  ///< recorded in artifacts
+};
+
+struct ExploreReport {
+  std::uint64_t schedules = 0;  ///< complete runs judged
+  std::uint64_t pruned = 0;     ///< sleep-set prunes (DFS only)
+  bool exhausted = false;       ///< DFS: the whole bounded tree was covered
+  bool found_violation = false;
+  Verdict verdict;            ///< first violation (when found)
+  std::vector<int> repro;     ///< minimized choice sequence for it
+  std::string artifact_path;  ///< written CHECK_repro file, if any
+};
+
+/// Explores the schedule tree exhaustively (stops at the first violation).
+ExploreReport explore_dfs(const RunFn& run, const Workload& w,
+                          const ExploreOptions& opt);
+
+/// Runs `opt.max_runs` PCT-scheduled runs (stops at the first violation).
+ExploreReport explore_pct(const RunFn& run, const Workload& w,
+                          const ExploreOptions& opt);
+
+/// Replays a recorded choice sequence once and judges it.
+Verdict replay_trace(const RunFn& run, const std::vector<int>& choices);
+
+/// ddmin-style greedy shrink: removes chunks (halving the chunk size down
+/// to single choices) while the replayed schedule keeps the same verdict
+/// kind. Spends at most `budget` replay runs.
+std::vector<int> minimize_trace(const RunFn& run, std::vector<int> choices,
+                                Verdict::Kind kind, int budget);
+
+}  // namespace sprwl::check

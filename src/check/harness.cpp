@@ -1,0 +1,54 @@
+#include "check/harness.h"
+
+namespace sprwl::check {
+
+const char* to_string(Verdict::Kind k) noexcept {
+  switch (k) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kSkipped: return "skipped";
+    case Verdict::kTorn: return "torn-read";
+    case Verdict::kLostUpdate: return "lost-update";
+    case Verdict::kNonLinearizable: return "non-linearizable";
+    case Verdict::kLivelock: return "livelock";
+    case Verdict::kError: return "error";
+  }
+  return "?";
+}
+
+Verdict evaluate(const RunResult& r) {
+  // Livelock implies cancellation, so it must be classified first.
+  if (r.livelock) {
+    return {Verdict::kLivelock,
+            "no schedulable progress within the bound (deadlock or livelock)"};
+  }
+  if (r.cancelled) return {Verdict::kSkipped, "run abandoned by the policy"};
+  if (!r.error.empty()) return {Verdict::kError, r.error};
+
+  for (const OpRecord& op : r.history) {
+    if (op.torn) {
+      return {Verdict::kTorn,
+              "reader tid " + std::to_string(op.tid) +
+                  " observed disagreeing cells (value " +
+                  std::to_string(op.value) + ")"};
+    }
+  }
+  std::uint64_t writes = 0;
+  for (const OpRecord& op : r.history) {
+    if (op.is_write) ++writes;
+  }
+  if (r.final_value != writes) {
+    return {Verdict::kLostUpdate,
+            "final counter " + std::to_string(r.final_value) + " after " +
+                std::to_string(writes) + " writes"};
+  }
+  const LinResult lr = check_counter_history(r.history);
+  if (!lr.ok) {
+    const Verdict::Kind k = lr.reason.find("lost update") != std::string::npos
+                                ? Verdict::kLostUpdate
+                                : Verdict::kNonLinearizable;
+    return {k, lr.reason};
+  }
+  return {};
+}
+
+}  // namespace sprwl::check

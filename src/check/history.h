@@ -1,0 +1,27 @@
+// Operation histories for the linearizability checker.
+//
+// The harness (harness.h) records one OpRecord per completed lock-protected
+// operation against the shared counter object (see linearizability.h for
+// the sequential spec). Invoke/response stamps come from a single logical
+// event counter bumped inside the fibers — under controlled scheduling that
+// counter is a deterministic function of the decision sequence, so a
+// replayed schedule reproduces the history bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sprwl::check {
+
+struct OpRecord {
+  int tid = 0;
+  bool is_write = false;
+  std::uint64_t invoke = 0;    ///< logical stamp before the lock call
+  std::uint64_t response = 0;  ///< logical stamp after the lock call returned
+  std::uint64_t value = 0;     ///< counter value read (reads) / written (writes)
+  bool torn = false;           ///< reader saw cells disagree mid-section
+};
+
+using History = std::vector<OpRecord>;
+
+}  // namespace sprwl::check

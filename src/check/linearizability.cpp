@@ -1,0 +1,130 @@
+#include "check/linearizability.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+#include <vector>
+
+namespace sprwl::check {
+namespace {
+
+std::string op_str(const OpRecord& op) {
+  return std::string(op.is_write ? "write" : "read") + "(tid=" +
+         std::to_string(op.tid) + ", value=" + std::to_string(op.value) +
+         ", [" + std::to_string(op.invoke) + "," + std::to_string(op.response) +
+         "])";
+}
+
+}  // namespace
+
+LinResult check_counter_history(const History& h) {
+  LinResult r;
+
+  // Structural checks first: they produce sharper diagnostics than a bare
+  // "no linearization found" and they catch most real violations (torn
+  // reads and lost updates) without any search.
+  for (const OpRecord& op : h) {
+    if (op.torn) {
+      return {false, "torn read: " + op_str(op) + " saw cells disagree", 0};
+    }
+  }
+  std::uint64_t writes = 0;
+  for (const OpRecord& op : h) {
+    if (op.is_write) ++writes;
+  }
+  std::vector<bool> value_seen(writes + 1, false);
+  for (const OpRecord& op : h) {
+    if (!op.is_write) continue;
+    if (op.value == 0 || op.value > writes) {
+      return {false,
+              "write stored out-of-range value (lost update): " + op_str(op),
+              0};
+    }
+    if (value_seen[op.value]) {
+      return {false,
+              "two writes stored the same value (lost update): " + op_str(op),
+              0};
+    }
+    value_seen[op.value] = true;
+  }
+
+  // Commutativity reduction: a read overlapping no write has exactly one
+  // legal value — the number of writes that fully preceded it.
+  std::vector<const OpRecord*> dfs_ops;
+  for (const OpRecord& op : h) {
+    if (op.is_write) {
+      dfs_ops.push_back(&op);
+      continue;
+    }
+    bool overlaps_write = false;
+    std::uint64_t writes_before = 0;
+    for (const OpRecord& w : h) {
+      if (!w.is_write) continue;
+      if (w.invoke < op.response && op.invoke < w.response) {
+        overlaps_write = true;
+        break;
+      }
+      if (w.response < op.invoke) ++writes_before;
+    }
+    if (overlaps_write) {
+      dfs_ops.push_back(&op);
+    } else if (op.value != writes_before) {
+      return {false,
+              "read overlapping no write returned " + std::to_string(op.value) +
+                  ", expected " + std::to_string(writes_before) + ": " +
+                  op_str(op),
+              0};
+    }
+  }
+
+  const std::size_t n = dfs_ops.size();
+  if (n > 64) {
+    return {false, "history too large for the mask-memoized checker (" +
+                       std::to_string(n) + " > 64 ops)",
+            0};
+  }
+  if (n == 0) return r;
+  const std::uint64_t full =
+      n == 64 ? ~0ULL : ((1ULL << n) - 1);
+
+  // Wing–Gong DFS with memoization on the linearized-set mask. The counter
+  // value in a state equals the number of writes in the mask, so the mask
+  // fully identifies the state and a visited set prunes re-expansion.
+  std::vector<std::uint64_t> stack{0};
+  std::unordered_set<std::uint64_t> visited{0};
+  while (!stack.empty()) {
+    const std::uint64_t mask = stack.back();
+    stack.pop_back();
+    ++r.states_visited;
+    if (mask == full) return r;
+    // Minimality: a pending op may linearize next only if it was invoked
+    // before every pending response (otherwise some op finished entirely
+    // before it began, and real-time order pins it earlier).
+    std::uint64_t min_resp = ~0ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) continue;
+      min_resp = std::min(min_resp, dfs_ops[i]->response);
+    }
+    std::uint64_t lin_writes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((mask >> i) & 1) && dfs_ops[i]->is_write) ++lin_writes;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) continue;
+      const OpRecord& op = *dfs_ops[i];
+      if (op.invoke > min_resp) continue;  // not minimal
+      const bool legal = op.is_write ? op.value == lin_writes + 1
+                                     : op.value == lin_writes;
+      if (!legal) continue;
+      const std::uint64_t next = mask | (1ULL << i);
+      if (!visited.insert(next).second) continue;
+      stack.push_back(next);
+    }
+  }
+  r.ok = false;
+  r.reason = "no linearization found (" + std::to_string(r.states_visited) +
+             " states searched)";
+  return r;
+}
+
+}  // namespace sprwl::check

@@ -1,0 +1,43 @@
+// Wing–Gong linearizability checking against the sequential rw-lock spec.
+//
+// The checked object is a multi-cell counter: a write under the write lock
+// reads the counter and stores value+1 to every cell; a read under the read
+// lock returns the counter (and flags "torn" if the cells disagreed). Its
+// sequential spec: the i-th linearized write stores i, and a read returns
+// the number of writes linearized before it.
+//
+// A history is linearizable iff there is a total order of operations,
+// consistent with the real-time partial order (op a before op b whenever
+// a.response < b.invoke), that satisfies that spec. We search for one with
+// the Wing–Gong DFS: repeatedly linearize some *minimal* pending operation
+// (one invoked before every pending response), with memoization on the set
+// of linearized ops — for this spec the counter value is determined by the
+// set's write count, so the set alone identifies the search state.
+//
+// Two rw-lock-specific reductions keep the search trivial in practice:
+//  * writes are totally ordered by their values (the i-th write must store
+//    i), so the DFS never branches across writes;
+//  * a read that overlaps no write commutes with adjacent reads and has
+//    exactly one legal value (the number of writes that responded before
+//    its invoke) — checked directly and excluded from the DFS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/history.h"
+
+namespace sprwl::check {
+
+struct LinResult {
+  bool ok = true;
+  std::string reason;               ///< empty when ok
+  std::uint64_t states_visited = 0; ///< DFS states (0 if rejected structurally)
+};
+
+/// Checks `h` against the sequential counter spec. Histories with more
+/// than 64 DFS-relevant operations are rejected (the checker is meant for
+/// the bounded configs the explorer runs; the mask memoization is 64-bit).
+LinResult check_counter_history(const History& h);
+
+}  // namespace sprwl::check

@@ -1,0 +1,192 @@
+#include "check/policies.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace sprwl::check {
+
+// --- PCT --------------------------------------------------------------------
+
+PctPolicy::PctPolicy(std::uint64_t seed, int depth,
+                     std::size_t expected_decisions)
+    : seed_(seed),
+      depth_(depth < 1 ? 1 : depth),
+      expected_decisions_(expected_decisions == 0 ? 1 : expected_decisions) {}
+
+void PctPolicy::begin_run(int nfibers) {
+  ++run_;
+  // One deterministic stream per (base seed, run index): a failing run is
+  // pinned by its run index alone.
+  Rng rng(seed_ + run_ * 0x9E3779B97F4A7C15ULL);
+  prio_.resize(static_cast<std::size_t>(nfibers));
+  for (int i = 0; i < nfibers; ++i) prio_[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = prio_.size(); i > 1; --i) {
+    std::swap(prio_[i - 1], prio_[static_cast<std::size_t>(rng.next_below(i))]);
+  }
+  change_points_.clear();
+  for (int k = 1; k < depth_; ++k) {
+    change_points_.push_back(
+        static_cast<std::size_t>(rng.next_below(expected_decisions_)));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+  cp_next_ = 0;
+  demote_next_ = -1;
+}
+
+int PctPolicy::pick(const sim::PickView& view) {
+  auto leader = [&]() -> int {
+    int best = -1;
+    std::int64_t best_prio = 0;
+    for (int i = 0; i < view.count; ++i) {
+      const int f = view.ops[i].fiber;
+      const std::int64_t p = prio_[static_cast<std::size_t>(f)];
+      if (best < 0 || p > best_prio) {
+        best = f;
+        best_prio = p;
+      }
+    }
+    return best;
+  };
+  while (cp_next_ < change_points_.size() &&
+         change_points_[cp_next_] <= view.decision) {
+    // Change point: demote the current leader below every other fiber so
+    // control transfers exactly once per sampled point.
+    if (change_points_[cp_next_] == view.decision) {
+      prio_[static_cast<std::size_t>(leader())] = demote_next_--;
+    }
+    ++cp_next_;
+  }
+  return leader();
+}
+
+// --- bounded-exhaustive DFS with sleep sets ---------------------------------
+
+DfsPolicy::DfsPolicy(bool sleep_sets) : sleep_sets_(sleep_sets) {}
+
+void DfsPolicy::begin_run(int /*nfibers*/) {
+  depth_ = 0;
+  pruned_ = false;
+}
+
+bool DfsPolicy::independent(const sim::PendingOp& a, const sim::PendingOp& b) {
+  // Conservative relation: only ops tagged with *distinct* lock objects
+  // provably commute. Untagged ops (pauses, starts) depend on everything.
+  return a.obj != 0 && b.obj != 0 && a.obj != b.obj;
+}
+
+const sim::PendingOp* DfsPolicy::find_op(const Node& n, int fiber) const {
+  for (const sim::PendingOp& op : n.ops) {
+    if (op.fiber == fiber) return &op;
+  }
+  return nullptr;
+}
+
+int DfsPolicy::select(const Node& n) const {
+  for (const sim::PendingOp& op : n.ops) {
+    if (std::find(n.sleep.begin(), n.sleep.end(), op.fiber) != n.sleep.end())
+      continue;
+    if (std::find(n.tried.begin(), n.tried.end(), op.fiber) != n.tried.end())
+      continue;
+    return op.fiber;  // ops are ordered by fiber id: lowest-id first
+  }
+  return -1;
+}
+
+int DfsPolicy::pick(const sim::PickView& view) {
+  if (depth_ < path_.size()) {
+    // Replaying the committed prefix of this branch. Determinism contract:
+    // the eligible set must match what the previous runs observed here.
+    Node& n = path_[depth_];
+    if (static_cast<int>(n.ops.size()) != view.count) {
+      throw std::logic_error(
+          "DfsPolicy: nondeterministic eligible set while replaying prefix");
+    }
+    ++depth_;
+    return n.chosen;
+  }
+  // Frontier: record a new node.
+  Node n;
+  n.ops.assign(view.ops, view.ops + view.count);
+  if (sleep_sets_ && !path_.empty()) {
+    const Node& parent = path_[depth_ - 1];
+    const sim::PendingOp* chosen_op = find_op(parent, parent.chosen);
+    auto inherit = [&](int fiber) {
+      const sim::PendingOp* op = find_op(parent, fiber);
+      // A sleeping op stays asleep only if it commutes with the executed
+      // op and is still parked identically at the child.
+      if (op == nullptr || chosen_op == nullptr) return;
+      if (!independent(*op, *chosen_op)) return;
+      const sim::PendingOp* now = find_op(n, fiber);
+      if (now == nullptr || now->kind != op->kind || now->obj != op->obj)
+        return;
+      n.sleep.push_back(fiber);
+    };
+    for (int f : parent.sleep) inherit(f);
+    for (int f : parent.tried) inherit(f);
+  }
+  n.chosen = select(n);
+  const int chosen = n.chosen;
+  path_.push_back(std::move(n));
+  ++depth_;
+  if (chosen == -1) {
+    // Every eligible op is asleep: every schedule below this node is a
+    // reordering of one already explored. Prune.
+    pruned_ = true;
+    return kCancelRun;
+  }
+  return chosen;
+}
+
+bool DfsPolicy::advance() {
+  depth_ = 0;
+  while (!path_.empty()) {
+    Node& n = path_.back();
+    if (n.chosen != -1) {
+      n.tried.push_back(n.chosen);
+      n.chosen = -1;
+    }
+    n.chosen = select(n);
+    if (n.chosen != -1) return true;
+    path_.pop_back();
+  }
+  return false;
+}
+
+std::vector<int> DfsPolicy::choices() const {
+  std::vector<int> out;
+  out.reserve(path_.size());
+  for (const Node& n : path_) {
+    if (n.chosen == -1) break;
+    out.push_back(n.chosen);
+  }
+  return out;
+}
+
+// --- replay -----------------------------------------------------------------
+
+ReplayPolicy::ReplayPolicy(std::vector<int> choices)
+    : choices_(std::move(choices)) {}
+
+void ReplayPolicy::begin_run(int /*nfibers*/) {
+  next_ = 0;
+  diverged_ = false;
+}
+
+int ReplayPolicy::pick(const sim::PickView& view) {
+  auto eligible = [&](int fiber) {
+    for (int i = 0; i < view.count; ++i) {
+      if (view.ops[i].fiber == fiber) return true;
+    }
+    return false;
+  };
+  while (next_ < choices_.size()) {
+    const int c = choices_[next_++];
+    if (eligible(c)) return c;
+    diverged_ = true;  // minimized/edited trace: skip inapplicable entries
+  }
+  return view.ops[0].fiber;  // past the trace: deterministic completion
+}
+
+}  // namespace sprwl::check

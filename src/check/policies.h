@@ -1,0 +1,107 @@
+// Schedule policies for the controlled simulator: PCT, bounded-exhaustive
+// DFS with sleep sets, and trace replay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/schedule_policy.h"
+
+namespace sprwl::check {
+
+/// PCT — Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS'10).
+/// Each run assigns the fibers a random priority permutation and samples
+/// d-1 priority *change points* over the expected decision-count range; the
+/// highest-priority eligible fiber always runs, and at a change point the
+/// current leader is demoted below everyone. For a buggy interleaving of
+/// depth d, one run finds it with probability >= 1/(n * k^(d-1)) — which a
+/// modest seed matrix turns into near-certainty for the bounded configs
+/// the checker targets. Reseeded deterministically per run from the base
+/// seed (SPRWL_SEED discipline), so any failing run replays from
+/// (seed, run_index).
+class PctPolicy : public sim::SchedulePolicy {
+ public:
+  explicit PctPolicy(std::uint64_t seed, int depth = 3,
+                     std::size_t expected_decisions = 256);
+
+  void begin_run(int nfibers) override;
+  int pick(const sim::PickView& view) override;
+
+  std::uint64_t runs_started() const noexcept { return run_; }
+
+ private:
+  std::uint64_t seed_;
+  int depth_;
+  std::size_t expected_decisions_;
+  std::uint64_t run_ = 0;
+  std::vector<std::int64_t> prio_;          // fiber id -> priority (higher wins)
+  std::vector<std::size_t> change_points_;  // decision indices, sorted
+  std::size_t cp_next_ = 0;                 // next unapplied change point
+  std::int64_t demote_next_ = 0;            // next below-everyone priority
+};
+
+/// Bounded-exhaustive stateless DFS over the schedule tree, with sleep-set
+/// pruning (Godefroid). The policy is driven across many runs: each run
+/// replays the current prefix of choices and extends it; advance() shifts
+/// to the next unexplored branch after the run completes. Two ops are
+/// treated as independent iff both carry a nonzero obj tag and the tags
+/// differ (distinct lock instances); everything else is conservatively
+/// dependent, so pruning never hides a schedule that could behave
+/// differently. A run whose frontier is fully covered by the sleep set is
+/// abandoned via kCancelRun (counted as pruned, not explored).
+class DfsPolicy : public sim::SchedulePolicy {
+ public:
+  explicit DfsPolicy(bool sleep_sets = true);
+
+  void begin_run(int nfibers) override;
+  int pick(const sim::PickView& view) override;
+
+  /// Call after each run() returns: pops exhausted suffixes and lines up
+  /// the next branch. Returns false when the whole tree is explored.
+  bool advance();
+
+  /// True when the run just executed was abandoned by a sleep-set prune.
+  bool pruned() const noexcept { return pruned_; }
+
+  /// The choice prefix (fiber ids) of the schedule just executed.
+  std::vector<int> choices() const;
+
+ private:
+  struct Node {
+    std::vector<sim::PendingOp> ops;  // eligible set observed at this depth
+    std::vector<int> sleep;           // fiber ids asleep at this node
+    std::vector<int> tried;           // fiber ids fully explored here
+    int chosen = -1;                  // branch taken on the current run
+  };
+
+  static bool independent(const sim::PendingOp& a, const sim::PendingOp& b);
+  const sim::PendingOp* find_op(const Node& n, int fiber) const;
+  int select(const Node& n) const;  // lowest-id eligible not asleep/tried
+
+  bool sleep_sets_;
+  std::vector<Node> path_;
+  std::size_t depth_ = 0;   // current depth within this run
+  bool pruned_ = false;
+};
+
+/// Replays a recorded sequence of fiber-id choices. Entries that are not
+/// eligible at their turn are skipped (keeps minimized traces usable);
+/// after the trace is exhausted the lowest-id eligible fiber runs, so the
+/// run always terminates deterministically. diverged() reports whether any
+/// entry had to be skipped.
+class ReplayPolicy : public sim::SchedulePolicy {
+ public:
+  explicit ReplayPolicy(std::vector<int> choices);
+
+  void begin_run(int nfibers) override;
+  int pick(const sim::PickView& view) override;
+
+  bool diverged() const noexcept { return diverged_; }
+
+ private:
+  std::vector<int> choices_;
+  std::size_t next_ = 0;
+  bool diverged_ = false;
+};
+
+}  // namespace sprwl::check

@@ -1,0 +1,104 @@
+#include "check/registry.h"
+
+#include <stdexcept>
+
+#include "core/sprwl.h"
+#include "locks/brlock.h"
+#include "locks/mcs_rwlock.h"
+#include "locks/passive_rwlock.h"
+#include "locks/phase_fair.h"
+#include "locks/posix_rwlock.h"
+#include "locks/rwle.h"
+#include "locks/tle.h"
+
+namespace sprwl::check {
+namespace {
+
+core::Config sprwl_cfg(const Workload& w) {
+  return core::Config::variant(core::SchedulingVariant::kFull, w.threads);
+}
+
+template <class MakeLock>
+RunFn bind(const Workload& w, MakeLock make_lock) {
+  return [w, make_lock](sim::SchedulePolicy& policy) {
+    return run_controlled(w, policy, make_lock);
+  };
+}
+
+}  // namespace
+
+std::vector<std::string> checked_locks() {
+  return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
+          "TLE",    "RW-LE",       "RWL",        "BRLock",
+          "PhaseFair", "MCS-RW",   "PRWL"};
+}
+
+RunFn make_runner(const std::string& name, const Workload& w) {
+  if (name == "SpRWL") {
+    return bind(w, [w] { return core::SpRWLock(sprwl_cfg(w)); });
+  }
+  if (name == "SpRWL-unins") {
+    return bind(w, [w] {
+      core::Config c = sprwl_cfg(w);
+      c.reader_htm_first = false;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-vsgl") {
+    return bind(w, [w] {
+      core::Config c = sprwl_cfg(w);
+      c.versioned_sgl = true;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-snzi") {
+    return bind(w, [w] {
+      core::Config c = sprwl_cfg(w);
+      c.use_snzi = true;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == broken_lock_name()) {
+    // Uninstrumented readers + a commit scan that skips reader tid 0: a
+    // writer can commit all cells while that reader is mid-snapshot. The
+    // workload keeps tid 0 a reader for any writers < threads.
+    return bind(w, [w] {
+      core::Config c = sprwl_cfg(w);
+      c.reader_htm_first = false;
+      c.broken_scan_skip_tid = 0;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "TLE") {
+    return bind(w, [w] {
+      locks::TLELock::Config c;
+      c.max_threads = w.threads;
+      return locks::TLELock(c);
+    });
+  }
+  if (name == "RW-LE") {
+    return bind(w, [w] {
+      locks::RWLELock::Config c;
+      c.max_threads = w.threads;
+      return locks::RWLELock(c);
+    });
+  }
+  if (name == "RWL") {
+    return bind(w, [w] { return locks::PosixRWLock(w.threads); });
+  }
+  if (name == "BRLock") {
+    return bind(w, [w] { return locks::BRLock(w.threads); });
+  }
+  if (name == "PhaseFair") {
+    return bind(w, [w] { return locks::PhaseFairRWLock(w.threads); });
+  }
+  if (name == "MCS-RW") {
+    return bind(w, [w] { return locks::McsRWLock(w.threads); });
+  }
+  if (name == "PRWL") {
+    return bind(w, [w] { return locks::PassiveRWLock(w.threads); });
+  }
+  throw std::invalid_argument("unknown checker lock: " + name);
+}
+
+}  // namespace sprwl::check

@@ -22,6 +22,39 @@
 
 namespace sprwl {
 
+/// Classification of schedule decision points for the simulator's
+/// controlled-scheduler mode (sim::SchedulePolicy). The kReadEnter..
+/// kWriteExit block mirrors fault::InjectPoint one-to-one (static_asserted
+/// in fault.h) so fault::checkpoint() routes here without a table.
+enum class SchedKind : std::uint8_t {
+  kStart = 0,   ///< fiber has not run yet
+  kPause,       ///< one spin-loop iteration
+  kTimedWait,   ///< a timed wait (platform::wait_until) elapsed
+  kReadEnter,   ///< read critical section entered (flag raised, body not run)
+  kReadBody,    ///< inside the read critical section
+  kReadExit,    ///< read body done, flag not yet cleared
+  kWriteEnter,  ///< write critical section entered
+  kWriteBody,   ///< inside the write critical section
+  kWriteExit,   ///< write body done, lock not yet released
+  kApi,         ///< lock API boundary (acquire/release call)
+};
+
+inline const char* to_string(SchedKind k) noexcept {
+  switch (k) {
+    case SchedKind::kStart: return "start";
+    case SchedKind::kPause: return "pause";
+    case SchedKind::kTimedWait: return "timed-wait";
+    case SchedKind::kReadEnter: return "read-enter";
+    case SchedKind::kReadBody: return "read-body";
+    case SchedKind::kReadExit: return "read-exit";
+    case SchedKind::kWriteEnter: return "write-enter";
+    case SchedKind::kWriteBody: return "write-body";
+    case SchedKind::kWriteExit: return "write-exit";
+    case SchedKind::kApi: return "api";
+  }
+  return "?";
+}
+
 /// Per-thread execution environment; implemented by sim::Simulator for
 /// fibers. Real threads run with no context installed.
 class ExecutionContext {
@@ -42,6 +75,22 @@ class ExecutionContext {
 
   /// Dense id of the current logical thread, in [0, max_threads).
   virtual int thread_id() = 0;
+
+  /// Schedule decision point (controlled-scheduler mode only; see
+  /// sim::SchedulePolicy). `obj` identifies the lock/object the point
+  /// belongs to, 0 when unknown. Default: no-op.
+  virtual void sched_point(SchedKind kind, std::uintptr_t obj) {
+    (void)kind;
+    (void)obj;
+  }
+
+  /// Whether sched_point() calls should be forwarded at all. Checked inline
+  /// by platform::sched_point() so that instrumented code pays one
+  /// predictable branch outside controlled mode.
+  bool sched_points_enabled() const noexcept { return sched_points_; }
+
+ protected:
+  bool sched_points_ = false;
 };
 
 namespace platform {
@@ -98,6 +147,16 @@ inline void wait_until(std::uint64_t t) {
 inline int thread_id() {
   ExecutionContext* c = detail::t_context;
   return c != nullptr ? c->thread_id() : detail::t_thread_id;
+}
+/// Schedule decision point. A no-op (one predictable branch) except under
+/// the simulator's controlled-scheduler mode, where it parks the calling
+/// fiber and lets the active SchedulePolicy decide who runs next. `obj`
+/// tags the point with the lock/object it belongs to.
+inline void sched_point(SchedKind kind, const void* obj = nullptr) {
+  ExecutionContext* c = detail::t_context;
+  if (c != nullptr && c->sched_points_enabled()) {
+    c->sched_point(kind, reinterpret_cast<std::uintptr_t>(obj));
+  }
 }
 
 }  // namespace platform

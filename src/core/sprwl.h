@@ -123,6 +123,13 @@ struct Config {
   /// cascade the whole writer population onto it.
   bool lemming_avoidance = true;
 
+  /// Checker self-validation ONLY (tests/check): when >= 0, the writer's
+  /// commit-time reader scan falls back to the per-word loop and skips this
+  /// tid in addition to the writer's own — a deliberately broken scan that
+  /// lets a writer commit over a live reader. The systematic checker must
+  /// catch the resulting atomicity violation; never set in production.
+  int broken_scan_skip_tid = -1;
+
   static Config variant(SchedulingVariant v, int max_threads) {
     Config c;
     c.max_threads = max_threads;
@@ -225,7 +232,7 @@ class SpRWLock {
     // Dangerous window: the flag is raised but the section has not run yet.
     // A preemption injected here is what the stalled-reader watchdog and
     // the chaos harness exercise.
-    fault::checkpoint(fault::InjectPoint::kReadEnter);
+    fault::checkpoint(fault::InjectPoint::kReadEnter, this);
     trace::emit(trace::Event::kReadUninsEnter);
     const std::uint64_t cs_start = platform::now();
     {
@@ -235,7 +242,7 @@ class SpRWLock {
         trace::emit(trace::Event::kReadUninsExit);
       });
       std::forward<F>(f)();
-      fault::checkpoint(fault::InjectPoint::kReadExit);
+      fault::checkpoint(fault::InjectPoint::kReadExit, this);
     }
     if (tid == cfg_.sampler_tid) {
       read_ema_[ema_slot(cs_id)]->record(platform::now() - cs_start);
@@ -265,7 +272,7 @@ class SpRWLock {
     ScopeExit clear_flag([&] {
       if (flagged) state_[static_cast<std::size_t>(tid)].store(kIdle);
     });
-    fault::checkpoint(fault::InjectPoint::kWriteEnter);
+    fault::checkpoint(fault::InjectPoint::kWriteEnter, this);
 
     // Escalation to the (versioned) SGL; `why` records which degradation
     // path fired so chaos runs can tell retry exhaustion from a stalled
@@ -377,7 +384,7 @@ class SpRWLock {
         }
       }
     }
-    fault::checkpoint(fault::InjectPoint::kWriteExit);
+    fault::checkpoint(fault::InjectPoint::kWriteExit, this);
   }
 
   locks::LockStats stats() const { return modes_.snapshot(); }
@@ -538,7 +545,7 @@ class SpRWLock {
     }
     if (check_snzi && snzi_->query()) engine->abort_tx(kCodeReader);
     if (!check_flags) return;
-    if (cfg_.batched_reader_scan) {
+    if (cfg_.batched_reader_scan && cfg_.broken_scan_skip_tid < 0) {
       // Line-granular scan: state_ is 64-byte aligned, so elements
       // [base, base+8) share one cache line; one OR-summary read covers
       // them all. kReader sets bit 0 and kWriter bit 1, so the writer's own
@@ -555,7 +562,7 @@ class SpRWLock {
       return;
     }
     for (int t = 0; t < cfg_.max_threads; ++t) {
-      if (t == tid) continue;
+      if (t == tid || t == cfg_.broken_scan_skip_tid) continue;
       if (state_[static_cast<std::size_t>(t)].load() == kReader) {
         engine->abort_tx(kCodeReader);
       }

@@ -178,11 +178,25 @@ class FaultInjector {
   static inline std::atomic<FaultInjector*> g_current{nullptr};
 };
 
+// InjectPoint rides on the tail block of SchedKind so checkpoint() can
+// route to the controlled scheduler with a single add.
+static_assert(static_cast<int>(SchedKind::kWriteExit) -
+                      static_cast<int>(SchedKind::kReadEnter) ==
+                  static_cast<int>(InjectPoint::kWriteExit),
+              "SchedKind kReadEnter..kWriteExit must mirror InjectPoint");
+
 /// Checkpoint hook called by lock implementations and chaos workloads.
-/// One predictable branch when no injector is installed.
-inline void checkpoint(InjectPoint p) {
+/// One predictable branch when no injector is installed. `obj` identifies
+/// the lock instance for the controlled scheduler's independence analysis
+/// (src/check/); it is ignored by the fault injector.
+inline void checkpoint(InjectPoint p, const void* obj) {
+  platform::sched_point(
+      static_cast<SchedKind>(static_cast<std::uint8_t>(SchedKind::kReadEnter) +
+                             static_cast<std::uint8_t>(p)),
+      obj);
   if (FaultInjector* f = FaultInjector::current()) f->on_point(p);
 }
+inline void checkpoint(InjectPoint p) { checkpoint(p, nullptr); }
 
 /// RAII installer, mirroring htm::EngineScope / trace::TracerScope.
 class FaultScope {

@@ -28,9 +28,11 @@ class BRLock {
   void read(int /*cs_id*/, F&& f) {
     auto& mine = *per_thread_[static_cast<std::size_t>(platform::thread_id())];
     mine.lock();
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExit release([&] { mine.unlock(); });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kPessimistic);
   }
@@ -39,6 +41,7 @@ class BRLock {
   void write(int /*cs_id*/, F&& f) {
     global_.lock();
     for (auto& m : per_thread_) m->lock();
+    platform::sched_point(SchedKind::kWriteEnter, this);
     {
       ScopeExit release([&] {
         for (auto it = per_thread_.rbegin(); it != per_thread_.rend(); ++it) {
@@ -47,6 +50,7 @@ class BRLock {
         global_.unlock();
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
   }

@@ -32,9 +32,11 @@ class McsRWLock {
   void read(int /*cs_id*/, F&& f) {
     QNode node(kReader);
     start_read(node);
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExitRead release(*this, node);
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kPessimistic);
   }
@@ -43,9 +45,11 @@ class McsRWLock {
   void write(int /*cs_id*/, F&& f) {
     QNode node(kWriter);
     start_write(node);
+    platform::sched_point(SchedKind::kWriteEnter, this);
     {
       ScopeExitWrite release(*this, node);
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
   }

@@ -44,12 +44,14 @@ class PassiveRWLock {
       slot.store(kInactive, std::memory_order_release);
       while (writer_present_.load(std::memory_order_acquire)) platform::pause();
     }
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExit release([&] {
         platform::advance(g_costs.store);
         slot.store(kInactive, std::memory_order_release);
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kPessimistic);
   }
@@ -64,6 +66,7 @@ class PassiveRWLock {
     for (auto& s : slots_) {
       while (s->load(std::memory_order_acquire) != kInactive) platform::pause();
     }
+    platform::sched_point(SchedKind::kWriteEnter, this);
     {
       ScopeExit release([&] {
         platform::advance(g_costs.store);
@@ -71,6 +74,7 @@ class PassiveRWLock {
         mutex_.unlock();
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
   }

@@ -34,12 +34,14 @@ class PhaseFairRWLock {
       // leaves (its phase id changes or presence clears).
       while ((rin_.load(std::memory_order_acquire) & kWmask) == w) platform::pause();
     }
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExit release([&] {
         platform::advance(g_costs.cas);
         rout_.fetch_add(kReader, std::memory_order_release);
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kPessimistic);
   }
@@ -54,6 +56,7 @@ class PhaseFairRWLock {
     const std::uint32_t entered =
         rin_.fetch_add(w, std::memory_order_acquire) & ~kWmask;
     while (rout_.load(std::memory_order_acquire) != entered) platform::pause();
+    platform::sched_point(SchedKind::kWriteEnter, this);
     {
       ScopeExit release([&] {
         platform::advance(g_costs.cas);
@@ -62,6 +65,7 @@ class PhaseFairRWLock {
         wout_.fetch_add(1, std::memory_order_release);  // admit the next writer
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
   }

@@ -44,6 +44,7 @@ class PosixRWLock {
       mutex_.unlock();
       platform::pause();
     }
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExit release([&] {
         mutex_.lock();
@@ -51,6 +52,7 @@ class PosixRWLock {
         mutex_.unlock();
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kPessimistic);
   }
@@ -76,6 +78,7 @@ class PosixRWLock {
       mutex_.unlock();
       platform::pause();
     }
+    platform::sched_point(SchedKind::kWriteEnter, this);
     {
       ScopeExit release([&] {
         mutex_.lock();
@@ -83,6 +86,7 @@ class PosixRWLock {
         mutex_.unlock();
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
   }

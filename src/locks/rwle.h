@@ -69,12 +69,14 @@ class RWLELock {
       flag.store(gen + 1);  // retreat (back to even)
       while (commit_window_.load(std::memory_order_acquire)) platform::pause();
     }
+    platform::sched_point(SchedKind::kReadEnter, this);
     {
       ScopeExit release([&] {
         htm::memory_fence();
         flag.store(flag.load() + 1);  // even: inactive
       });
       std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
     }
     modes_.record_read(CommitMode::kUnins);
   }
@@ -90,6 +92,7 @@ class RWLELock {
       ++attempts;
       const htm::TxStatus status = engine->try_transaction([&] {
         if (rot_lock_.is_locked()) engine->abort_tx(kCodeLockBusy);
+        platform::sched_point(SchedKind::kWriteEnter, this);
         f();
         // Commit-time reader check (the suspended-read trick on POWER8):
         for (int t = 0; t < cfg_.max_threads; ++t) {
@@ -98,6 +101,7 @@ class RWLELock {
             engine->abort_tx(kCodeReader);
           }
         }
+        platform::sched_point(SchedKind::kWriteExit, this);
       });
       if (status.committed()) {
         modes_.record_write(CommitMode::kHtm);
@@ -122,8 +126,10 @@ class RWLELock {
     });
     for (int rot_attempts = 1;; ++rot_attempts) {
       const htm::TxStatus status = engine->try_rot([&] {
+        platform::sched_point(SchedKind::kWriteEnter, this);
         f();
         quiesce(self);  // leaves the commit window open for the publish
+        platform::sched_point(SchedKind::kWriteExit, this);
       });
       if (status.committed()) {
         modes_.record_write(CommitMode::kRot);
@@ -140,7 +146,9 @@ class RWLELock {
     // --- pessimistic last resort (rare: ROT kept aborting) ------------------
     commit_window_.store(true, std::memory_order_seq_cst);
     drain_readers(self);
+    platform::sched_point(SchedKind::kWriteEnter, this);
     f();
+    platform::sched_point(SchedKind::kWriteExit, this);
     modes_.record_write(CommitMode::kGl);
   }
 

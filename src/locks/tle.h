@@ -33,12 +33,14 @@ class TLELock {
 
   template <class F>
   void read(int /*cs_id*/, F&& f) {
-    modes_.record_read(elide(std::forward<F>(f)));
+    modes_.record_read(elide(SchedKind::kReadEnter, SchedKind::kReadExit,
+                             std::forward<F>(f)));
   }
 
   template <class F>
   void write(int /*cs_id*/, F&& f) {
-    modes_.record_write(elide(std::forward<F>(f)));
+    modes_.record_write(elide(SchedKind::kWriteEnter, SchedKind::kWriteExit,
+                              std::forward<F>(f)));
   }
 
   LockStats stats() const { return modes_.snapshot(); }
@@ -47,7 +49,7 @@ class TLELock {
 
  private:
   template <class F>
-  CommitMode elide(F&& f) {
+  CommitMode elide(SchedKind enter, SchedKind exit, F&& f) {
     htm::Engine* engine = htm::Engine::current();
     int attempts = 0;
     for (;;) {
@@ -55,7 +57,9 @@ class TLELock {
       ++attempts;
       const htm::TxStatus status = engine->try_transaction([&] {
         if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);  // subscription
+        platform::sched_point(enter, this);
         f();
+        platform::sched_point(exit, this);
       });
       if (status.committed()) return CommitMode::kHtm;
       modes_.record_abort(status, kCodeLockBusy);
@@ -69,9 +73,11 @@ class TLELock {
       }
     }
     gl_.lock();
+    platform::sched_point(enter, this);
     {
       ScopeExit release([&] { gl_.unlock(); });
       f();
+      platform::sched_point(exit, this);
     }
     return CommitMode::kGl;
   }

@@ -1,0 +1,61 @@
+// Pluggable schedule decision-making for the simulator's controlled mode.
+//
+// In the default (virtual-time) mode the simulator always runs the fiber
+// with the smallest clock — a single, fixed interleaving per seed. In
+// controlled mode every instrumented point (fault::checkpoint() at
+// critical-section boundaries, every platform::pause() spin iteration,
+// every timed wait) parks the fiber instead, and a SchedulePolicy chooses
+// which parked fiber runs next. The schedule becomes an explicit sequence
+// of decisions: systematic testers (src/check/) can randomize it (PCT),
+// enumerate it (bounded DFS with sleep sets), or replay a recorded one.
+//
+// Determinism contract: given the same workload body and the same sequence
+// of pick() return values, the simulator produces bit-identical eligible
+// sets, traces and histories. Policies must not consult wall-clock time or
+// global RNG state — seed them explicitly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/platform.h"
+
+namespace sprwl::sim {
+
+/// One parked fiber's pending operation at a decision point. `obj` is a
+/// per-run dense id (first-appearance order) of the lock/object the point
+/// was tagged with — stable across runs that share a decision prefix, even
+/// though the underlying heap addresses differ. 0 means "unknown object";
+/// such ops are treated as dependent on everything.
+struct PendingOp {
+  int fiber = -1;
+  SchedKind kind = SchedKind::kStart;
+  std::uintptr_t obj = 0;
+};
+
+/// The eligible set at one decision point, ordered by ascending fiber id.
+struct PickView {
+  std::size_t decision = 0;        ///< index of this decision within the run
+  const PendingOp* ops = nullptr;  ///< eligible parked fibers
+  int count = 0;
+};
+
+class SchedulePolicy {
+ public:
+  /// pick() may return this instead of a fiber id to abandon the run: the
+  /// simulator unwinds every live fiber (destructors run), run() returns
+  /// normally and Simulator::cancelled() reports true. Used by DFS to
+  /// prune subtrees its sleep sets prove redundant.
+  static constexpr int kCancelRun = -1;
+
+  virtual ~SchedulePolicy() = default;
+
+  /// Called once at run() entry, before any decision.
+  virtual void begin_run(int nfibers) { (void)nfibers; }
+
+  /// Chooses the fiber to resume from view.ops (must return one of the
+  /// listed fiber ids, or kCancelRun).
+  virtual int pick(const PickView& view) = 0;
+};
+
+}  // namespace sprwl::sim

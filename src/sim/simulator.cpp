@@ -118,6 +118,8 @@ struct Simulator::FiberContext final : ExecutionContext {
   void pause() override;
   void wait_until(std::uint64_t t) override;
   int thread_id() override;
+  void sched_point(SchedKind kind, std::uintptr_t obj) override;
+  void enable_sched_points(bool on) noexcept { sched_points_ = on; }
 };
 
 struct Simulator::Fiber {
@@ -129,6 +131,11 @@ struct Simulator::Fiber {
   Simulator* sim = nullptr;
   std::exception_ptr error;
   FiberContext exec_ctx;
+  // Controlled-mode bookkeeping.
+  PendingOp pending;               // where this fiber is parked
+  std::uint64_t pause_stamp = 0;   // progress_ epoch observed at last pause
+  bool started = false;            // body entered at least once
+  bool cancelling = false;         // RunCancelled already thrown into it
   // Private __cxa_eh_globals while descheduled (zero = no live exceptions).
   unsigned char eh_state[kEhStateBytes] = {};
   void* fake_stack = nullptr;  // ASan fiber bookkeeping (unused otherwise)
@@ -148,6 +155,12 @@ void Simulator::FiberContext::advance(std::uint64_t cycles) {
   sim->fiber_advance(*fiber, cycles);
 }
 void Simulator::FiberContext::pause() {
+  if (sim->controlled_ && fiber->cancelling) {
+    // Unwinding a cancelled run: park without charging time (no
+    // SimTimeLimitError may fire while a destructor is mid-unwind).
+    sim->controlled_point(SchedKind::kPause, 0);
+    return;
+  }
   // Spin iterations on real hardware never take exactly the same number of
   // cycles; a deterministic simulator without jitter can lock coupled spin
   // loops into a *permanent* periodic schedule (e.g. a reader whose
@@ -157,11 +170,20 @@ void Simulator::FiberContext::pause() {
   // run) breaks such lockstep without affecting costs materially.
   fiber->jitter = fiber->jitter * 1664525u + 1013904223u;
   sim->fiber_advance(*fiber, g_costs.pause + (fiber->jitter >> 28));
+  if (sim->controlled_) sim->controlled_point(SchedKind::kPause, 0);
 }
 void Simulator::FiberContext::wait_until(std::uint64_t t) {
+  if (sim->controlled_ && fiber->cancelling) {
+    sim->controlled_point(SchedKind::kTimedWait, 0);
+    return;
+  }
   sim->fiber_wait_until(*fiber, t);
+  if (sim->controlled_) sim->controlled_point(SchedKind::kTimedWait, 0);
 }
 int Simulator::FiberContext::thread_id() { return fiber->id; }
+void Simulator::FiberContext::sched_point(SchedKind kind, std::uintptr_t obj) {
+  sim->controlled_point(kind, obj);
+}
 
 Simulator::Simulator(SimConfig cfg) : cfg_(cfg) {
 #if !SPRWL_FAST_FIBERS
@@ -266,6 +288,8 @@ void Simulator::fiber_body(Fiber& f) {
 #endif
   try {
     (*f.sim->body_)(f.id);
+  } catch (const RunCancelled&) {
+    // Controlled run abandoned: the fiber unwound cleanly, no error.
   } catch (...) {
     f.error = std::current_exception();
   }
@@ -439,13 +463,23 @@ void Simulator::run(int nthreads, const std::function<void(int)>& body) {
     throw std::invalid_argument("Simulator: more than 1024 fibers");
   if (cfg_.max_virtual_time >= (1ULL << (64 - Entry::kIdBits)))
     throw std::invalid_argument("Simulator: max_virtual_time >= 2^54");
+  if (cfg_.policy != nullptr && cfg_.legacy_ready_queue)
+    throw std::invalid_argument(
+        "Simulator: controlled mode is incompatible with legacy_ready_queue");
   body_ = &body;
-  direct_switch_ = cfg_.direct_switch && !cfg_.legacy_ready_queue;
+  controlled_ = cfg_.policy != nullptr;
+  direct_switch_ = cfg_.direct_switch && !cfg_.legacy_ready_queue && !controlled_;
   // Defensive per-run reset: results always describe this run, whatever
   // state a previous run (or an exception unwinding out of one) left.
   preemptions_ = 0;
   final_time_ = 0;
   stats_ = SimStats{};
+  cancel_run_ = false;
+  livelocked_ = false;
+  cancelled_ = false;
+  progress_ = 0;
+  trace_.clear();
+  obj_table_.clear();
   heap_.clear();
   heap_pos_.assign(static_cast<std::size_t>(nthreads), 0);
   heap_.reserve(static_cast<std::size_t>(nthreads));
@@ -464,13 +498,17 @@ void Simulator::run(int nthreads, const std::function<void(int)>& body) {
                    : acquire_stack(cfg_.stack_bytes);
     f->exec_ctx.sim = this;
     f->exec_ctx.fiber = f.get();
+    f->exec_ctx.enable_sched_points(controlled_);
+    f->pending = PendingOp{i, SchedKind::kStart, 0};
     prepare_fiber(*f);
-    if (!cfg_.legacy_ready_queue) heap_push(Entry::make(0, i));
+    if (!cfg_.legacy_ready_queue && !controlled_) heap_push(Entry::make(0, i));
     fibers_.push_back(std::move(f));
   }
 
   if (cfg_.legacy_ready_queue) {
     schedule_loop_legacy();
+  } else if (controlled_) {
+    schedule_loop_controlled();
   } else {
     schedule_loop();
   }
@@ -553,6 +591,164 @@ void Simulator::schedule_loop_legacy() {
       ++stats_.heap_pushes;
     }
   }
+}
+
+// --- controlled-scheduler mode ---------------------------------------------
+//
+// The ready heap is unused: every live fiber is "parked" at its last
+// decision point (pause / timed wait / fault::checkpoint / sched_point)
+// and the policy picks which one to resume. next_wake_ is pinned to ~0 so
+// virtual time never forces a yield — parking is explicit and exhaustive,
+// which is what makes the explored schedule space well-defined.
+//
+// Spin loops need special care: a fiber parked at a pause whose condition
+// cannot change until another fiber runs would otherwise let the policy
+// burn the whole decision budget re-running one spinner. The progress
+// counter handles it: progress_ bumps whenever a fiber parks at a
+// *non*-pause point (it executed real instrumented work) or completes; a
+// pause-parked fiber that already observed the current epoch
+// (pause_stamp == progress_) is ineligible until the epoch moves. When
+// that empties the eligible set, a "verification round" makes every live
+// fiber eligible again — covering state changes that happen between
+// pauses without an instrumented point in between — and
+// no_progress_bound such rounds without progress is the livelock/deadlock
+// verdict.
+
+void Simulator::schedule_loop_controlled() {
+  SchedulePolicy& policy = *cfg_.policy;
+  policy.begin_run(static_cast<int>(fibers_.size()));
+  next_wake_ = ~0ULL;
+  int alive = static_cast<int>(fibers_.size());
+  int stall_rounds = 0;
+  std::uint64_t last_progress = progress_;
+  std::vector<PendingOp> ops;
+  ops.reserve(fibers_.size());
+  while (alive > 0) {
+    if (progress_ != last_progress) {
+      last_progress = progress_;
+      stall_rounds = 0;
+    }
+    ops.clear();
+    for (auto& fp : fibers_) {
+      Fiber& f = *fp;
+      if (f.done) continue;
+      if (f.pending.kind == SchedKind::kPause && f.pause_stamp == progress_)
+        continue;  // would spin again without new information
+      ops.push_back(f.pending);
+    }
+    if (ops.empty()) {
+      for (auto& fp : fibers_) {
+        if (!fp->done) ops.push_back(fp->pending);
+      }
+      if (++stall_rounds > cfg_.no_progress_bound) {
+        livelocked_ = true;
+        break;
+      }
+    }
+    if (trace_.size() >= cfg_.max_decisions) {
+      livelocked_ = true;
+      break;
+    }
+    const PickView view{trace_.size(), ops.data(),
+                        static_cast<int>(ops.size())};
+    const int choice = policy.pick(view);
+    if (choice == SchedulePolicy::kCancelRun) break;
+    Fiber* chosen = nullptr;
+    for (const PendingOp& op : ops) {
+      if (op.fiber == choice) {
+        chosen = fibers_[static_cast<std::size_t>(choice)].get();
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      cancel_all_fibers();
+      cancelled_ = true;
+      throw std::logic_error(
+          "SchedulePolicy::pick returned an ineligible fiber");
+    }
+    trace_.push_back(chosen->pending);
+    activate_fiber(*chosen);
+    if (chosen->done) {
+      --alive;
+      ++progress_;
+    }
+  }
+  if (alive > 0) {
+    cancel_all_fibers();
+    cancelled_ = true;
+  }
+}
+
+void Simulator::controlled_point(SchedKind kind, std::uintptr_t obj) {
+  Fiber* f = running_;
+  if (!controlled_ || f == nullptr) return;
+  if (cancel_run_) {
+    if (!f->cancelling) {
+      f->cancelling = true;
+      throw RunCancelled{};
+    }
+    // Already unwinding: park cooperatively so peers can run (unwind code
+    // may legitimately spin-wait on them, e.g. a queue-lock handoff in a
+    // ScopeExit block).
+    yield_to_scheduler(*f);
+    return;
+  }
+  f->pending = PendingOp{f->id, kind, canonical_obj(obj)};
+  if (kind == SchedKind::kPause) {
+    f->pause_stamp = progress_;
+  } else {
+    ++progress_;
+  }
+  yield_to_scheduler(*f);
+  if (cancel_run_ && !f->cancelling) {
+    f->cancelling = true;
+    throw RunCancelled{};
+  }
+}
+
+void Simulator::activate_fiber(Fiber& f) {
+  f.started = true;
+  platform::set_context(&f.exec_ctx);
+  running_ = &f;
+  ++stats_.switches;
+  switch_to_fiber(f);
+  running_ = nullptr;
+  platform::set_context(nullptr);
+}
+
+void Simulator::cancel_all_fibers() {
+  cancel_run_ = true;
+  next_wake_ = ~0ULL;
+  // Round-robin until every fiber unwound: a single pass is not enough
+  // because unwind code can wait on peers that unwind later in the pass.
+  // The bound converts a stuck unwind (a genuinely broken lock whose
+  // release path deadlocks) into a deterministic failure instead of a hang.
+  constexpr int kMaxRounds = 100000;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool any = false;
+    for (auto& fp : fibers_) {
+      Fiber& f = *fp;
+      if (f.done) continue;
+      if (!f.started) {
+        f.done = true;  // never entered the body: nothing on its stack
+        continue;
+      }
+      any = true;
+      activate_fiber(f);
+    }
+    if (!any) return;
+  }
+  throw std::runtime_error(
+      "Simulator: cancelled fibers failed to unwind (release path stuck)");
+}
+
+std::uintptr_t Simulator::canonical_obj(std::uintptr_t raw) {
+  if (raw == 0) return 0;
+  for (std::size_t i = 0; i < obj_table_.size(); ++i) {
+    if (obj_table_[i] == raw) return static_cast<std::uintptr_t>(i + 1);
+  }
+  obj_table_.push_back(raw);
+  return static_cast<std::uintptr_t>(obj_table_.size());
 }
 
 void Simulator::fiber_advance(Fiber& f, std::uint64_t cycles) {

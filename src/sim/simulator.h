@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "common/platform.h"
+#include "sim/schedule_policy.h"
 
 namespace sprwl::sim {
 
@@ -83,6 +84,19 @@ struct SimConfig {
   /// ignored). The schedule — and therefore every virtual-time result — is
   /// bit-identical to the default scheduler; only wall-clock cost differs.
   bool legacy_ready_queue = false;
+  /// Controlled-scheduler mode (systematic testing, src/check/): when set,
+  /// virtual-time order no longer drives scheduling. Every pause, timed
+  /// wait and fault::checkpoint() parks the fiber, and the policy chooses
+  /// which parked fiber runs next. Incompatible with legacy_ready_queue.
+  SchedulePolicy* policy = nullptr;
+  /// Controlled mode: hard cap on decisions per run — a second livelock
+  /// backstop (the primary one is no_progress_bound) and the bound that
+  /// keeps DFS runs finite on spin-heavy code.
+  std::size_t max_decisions = 20000;
+  /// Controlled mode: after this many consecutive decision rounds in which
+  /// no fiber made progress (every eligible fiber merely re-parked at a
+  /// spin pause), the run is declared livelocked/deadlocked and unwound.
+  int no_progress_bound = 64;
 };
 
 /// Cheap per-run scheduler counters (reset at every run() entry).
@@ -98,6 +112,15 @@ class SimTimeLimitError : public std::runtime_error {
   explicit SimTimeLimitError(std::uint64_t t)
       : std::runtime_error("virtual time limit exceeded at " + std::to_string(t)) {}
 };
+
+/// Thrown into fibers to unwind them when a controlled run is abandoned
+/// (policy returned kCancelRun, livelock verdict, max_decisions). NOT
+/// derived from std::exception on purpose: workload bodies that catch
+/// std::exception (or lock code that catches specific exception types and
+/// rethrows the rest via `catch (...) { ...; throw; }`) must not swallow
+/// it. fiber_body catches it and discards it — a cancelled fiber reports
+/// no error.
+class RunCancelled {};
 
 class Simulator {
  public:
@@ -140,6 +163,22 @@ class Simulator {
   /// Scheduler counters for the current/last run.
   const SimStats& stats() const noexcept { return stats_; }
 
+  // --- controlled-mode results (meaningful only when cfg.policy != null) ---
+
+  /// The decision sequence of the current/last controlled run: the op that
+  /// was chosen (and resumed) at each decision point, in order. Feed the
+  /// fiber ids to a ReplayPolicy to reproduce the schedule exactly.
+  const std::vector<PendingOp>& decision_trace() const noexcept {
+    return trace_;
+  }
+  /// True when the last controlled run was abandoned because no fiber made
+  /// progress within no_progress_bound rounds (livelock/deadlock) or the
+  /// max_decisions cap was hit.
+  bool livelocked() const noexcept { return livelocked_; }
+  /// True when the last controlled run was abandoned for any reason
+  /// (policy kCancelRun or livelock verdict) and its fibers were unwound.
+  bool cancelled() const noexcept { return cancelled_; }
+
   // --- internal (public for the assembly entry thunk) ----------------------
   struct Fiber;
   static void fiber_body(Fiber& f);
@@ -168,6 +207,16 @@ class Simulator {
 
   void schedule_loop();
   void schedule_loop_legacy();
+  void schedule_loop_controlled();
+  /// Parks the running fiber at a decision point (controlled mode only).
+  void controlled_point(SchedKind kind, std::uintptr_t obj);
+  /// Resumes fiber f from the scheduler with full context bookkeeping.
+  void activate_fiber(Fiber& f);
+  /// Unwinds every live fiber with RunCancelled (round-robin until all
+  /// done, so unwind-time spin waits — e.g. queue-lock handoffs inside
+  /// ScopeExit blocks — still make progress).
+  void cancel_all_fibers();
+  std::uintptr_t canonical_obj(std::uintptr_t raw);
   void fiber_advance(Fiber& f, std::uint64_t cycles);
   void fiber_wait_until(Fiber& f, std::uint64_t t);
   void yield_from(Fiber& f);
@@ -218,6 +267,14 @@ class Simulator {
   std::uint64_t final_time_ = 0;
   std::uint64_t preemptions_ = 0;
   SimStats stats_;
+  // Controlled-mode state (all reset at run() entry).
+  bool controlled_ = false;
+  bool cancel_run_ = false;   // set to start unwinding every live fiber
+  bool livelocked_ = false;
+  bool cancelled_ = false;
+  std::uint64_t progress_ = 0;  // bumped whenever a fiber does real work
+  std::vector<PendingOp> trace_;
+  std::vector<std::uintptr_t> obj_table_;  // raw obj -> dense per-run id
 
   friend struct FiberContext;
 };

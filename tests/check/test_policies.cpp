@@ -1,0 +1,140 @@
+// Policy-level tests: PCT seed discipline, DFS termination/exhaustion, and
+// the sleep-set reduction on a workload with provably independent ops.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "check/explorer.h"
+#include "check/harness.h"
+#include "check/policies.h"
+#include "check/registry.h"
+#include "common/platform.h"
+#include "sim/simulator.h"
+
+namespace sprwl::check {
+namespace {
+
+std::vector<int> run_choices(const RunFn& run, sim::SchedulePolicy& p) {
+  return run(p).choices();
+}
+
+TEST(Pct, SameSeedSameSchedules) {
+  Workload w;
+  w.threads = 4;
+  w.writers = 2;
+  const RunFn run = make_runner("RWL", w);
+  PctPolicy a(/*seed=*/11), b(/*seed=*/11);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(run_choices(run, a), run_choices(run, b)) << "run " << i;
+  }
+}
+
+TEST(Pct, DifferentSeedsDiverge) {
+  Workload w;
+  w.threads = 4;
+  w.writers = 2;
+  w.ops_per_thread = 2;
+  const RunFn run = make_runner("RWL", w);
+  PctPolicy a(/*seed=*/11), b(/*seed=*/12);
+  bool diverged = false;
+  for (int i = 0; i < 6 && !diverged; ++i) {
+    diverged = run_choices(run, a) != run_choices(run, b);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+/// Two fibers, each touching only its own object through explicit
+/// sched_point(kApi) decision points: every cross-fiber pair of kApi ops
+/// is independent, so sleep sets must collapse most interleavings.
+RunResult run_two_objects(sim::SchedulePolicy& policy, int ops) {
+  RunResult res;
+  sim::SimConfig sc;
+  sc.policy = &policy;
+  sim::Simulator sim(sc);
+  int a = 0, b = 0;
+  sim.run(2, [&](int tid) {
+    int* obj = tid == 0 ? &a : &b;
+    for (int i = 0; i < ops; ++i) {
+      platform::sched_point(SchedKind::kApi, obj);
+      ++*obj;
+    }
+  });
+  res.completed = !sim.cancelled();
+  res.cancelled = sim.cancelled();
+  res.livelock = sim.livelocked();
+  res.trace = sim.decision_trace();
+  return res;
+}
+
+TEST(Dfs, ExhaustsTheBoundedTree) {
+  const RunFn run = [](sim::SchedulePolicy& p) {
+    return run_two_objects(p, 2);
+  };
+  ExploreOptions opt;
+  const ExploreReport rep = explore_dfs(run, Workload{}, opt);
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_FALSE(rep.found_violation);
+  // 2 fibers x 3 decision points each (start + 2 kApi): C(6,3) = 20 total
+  // interleavings before reduction.
+  EXPECT_GE(rep.schedules, 1u);
+  EXPECT_LE(rep.schedules, 20u);
+}
+
+TEST(Dfs, SleepSetsPruneIndependentInterleavings) {
+  const RunFn run = [](sim::SchedulePolicy& p) {
+    return run_two_objects(p, 2);
+  };
+  ExploreOptions with_ss;
+  with_ss.sleep_sets = true;
+  ExploreOptions no_ss;
+  no_ss.sleep_sets = false;
+  const ExploreReport pruned = explore_dfs(run, Workload{}, with_ss);
+  const ExploreReport full = explore_dfs(run, Workload{}, no_ss);
+  ASSERT_TRUE(pruned.exhausted);
+  ASSERT_TRUE(full.exhausted);
+  // Both cover the tree; the sleep-set run completes strictly fewer
+  // schedules because commuting interleavings are explored once.
+  EXPECT_LT(pruned.schedules, full.schedules);
+  EXPECT_GT(full.schedules, 1u);
+}
+
+TEST(Dfs, DfsOnARealLockTerminates) {
+  Workload w;
+  w.threads = 2;
+  w.writers = 1;
+  const RunFn run = make_runner("RWL", w);
+  ExploreOptions opt;
+  const ExploreReport rep = explore_dfs(run, w, opt);
+  EXPECT_TRUE(rep.exhausted);
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_FALSE(rep.found_violation)
+      << to_string(rep.verdict.kind) << ": " << rep.verdict.detail;
+}
+
+TEST(Replay, SkipsInapplicableEntriesAndTerminates) {
+  Workload w;
+  const RunFn run = make_runner("RWL", w);
+  // A nonsense trace (fibers that are often ineligible): the run must
+  // still complete deterministically and report the divergence.
+  ReplayPolicy p({2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2});
+  const RunResult r = run(p);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(evaluate(r).kind, Verdict::kOk);
+}
+
+TEST(Minimize, ShrinksWhilePreservingTheVerdict) {
+  // Minimizing an OK run against kOk must shrink the trace (an empty
+  // choice list already yields a completed OK run) and stay kOk.
+  Workload w;
+  const RunFn run = make_runner("RWL", w);
+  ReplayPolicy p({});
+  const RunResult r = run(p);
+  ASSERT_TRUE(r.completed);
+  const std::vector<int> min =
+      minimize_trace(run, r.choices(), Verdict::kOk, /*budget=*/200);
+  EXPECT_LT(min.size(), r.choices().size());
+  EXPECT_EQ(replay_trace(run, min).kind, Verdict::kOk);
+}
+
+}  // namespace
+}  // namespace sprwl::check

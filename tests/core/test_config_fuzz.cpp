@@ -10,8 +10,11 @@
 #include "common/platform.h"
 #include "common/rng.h"
 #include "core/sprwl.h"
+#include "fault/fault.h"
 #include "htm/shared.h"
 #include "sim/simulator.h"
+
+#include "../support/seed_replay.h"
 
 namespace sprwl::core {
 namespace {
@@ -53,7 +56,13 @@ htm::CapacityProfile fuzz_capacity(std::uint64_t index) {
 class SpRWLConfigFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SpRWLConfigFuzz, SafetyHoldsForArbitraryConfigs) {
-  const auto index = static_cast<std::uint64_t>(GetParam());
+  // SPRWL_SEED shifts the whole sweep onto fresh configs/schedules; the
+  // default (0) keeps the historical deterministic cases. Failures print
+  // the standard replay line (tests/support/seed_replay.h).
+  const std::uint64_t base = fault::env_seed(0);
+  const auto index = static_cast<std::uint64_t>(GetParam()) + base;
+  SCOPED_TRACE("config index " + std::to_string(index) + "; " +
+               testutil::seed_replay(base));
   const int threads = 2 + static_cast<int>(index % 7);
   htm::EngineConfig ec;
   ec.capacity = fuzz_capacity(index);

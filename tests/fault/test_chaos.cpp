@@ -3,7 +3,8 @@
 // the progress watchdog checked on every run.
 //
 // Seed replay: every scenario derives from env_seed(), so any failure
-// reproduces bit-identically with SPRWL_SEED=<printed seed> ctest -R Chaos.
+// reproduces bit-identically; failures print the standard replay line
+// (tests/support/seed_replay.h): SPRWL_SEED=<n> to replay.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -15,6 +16,7 @@
 #include "locks/tle.h"
 
 #include "../locks/lock_test_utils.h"
+#include "../support/seed_replay.h"
 
 namespace sprwl::fault {
 namespace {
@@ -32,7 +34,7 @@ core::Config sprwl_config(int threads) {
 TEST(Chaos, SpRWLSurvivesTwentyFourSeededFaultSchedules) {
   const std::uint64_t base = env_seed(1);
   for (std::uint64_t seed = base; seed < base + 24; ++seed) {
-    SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
+    SCOPED_TRACE(testutil::seed_replay(seed));
     ChaosConfig cfg;
     cfg.seed = seed;
     const FaultPlan plan = FaultPlan::chaos(seed, cfg.threads, kHorizon);
@@ -167,7 +169,7 @@ TYPED_TEST_SUITE(ChaosAllLocks, testutil::AllLockTypes);
 
 TYPED_TEST(ChaosAllLocks, KeepsInvariantsUnderSeededFaults) {
   const std::uint64_t seed = env_seed(3);
-  SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
+  SCOPED_TRACE(testutil::seed_replay(seed));
   ChaosConfig cfg;
   cfg.seed = seed;
   cfg.threads = 6;

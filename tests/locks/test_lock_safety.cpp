@@ -18,6 +18,8 @@
 #include "lock_test_utils.h"
 #include "sim/simulator.h"
 
+#include "../support/seed_replay.h"
+
 namespace sprwl {
 namespace {
 
@@ -105,28 +107,13 @@ TYPED_TEST(LockSafety, ReadersOverlapInVirtualTime) {
   EXPECT_LT(sim.final_time(), kReaderCycles + kReaderCycles / 2);
 }
 
-TYPED_TEST(LockSafety, WritersSerializeObservably) {
-  // A writer-only workload with a "currently inside" flag: at most one
-  // writer may ever be inside the critical section.
-  std::atomic<int> inside{0};
-  int max_inside = 0;
-  sim::Simulator sim;
-  sim.run(this->kThreads, [&](int) {
-    for (int i = 0; i < 30; ++i) {
-      this->lock_->write(1, [&] {
-        const int now_inside = inside.fetch_add(1) + 1;
-        max_inside = std::max(max_inside, now_inside);
-        platform::advance(200);
-        inside.fetch_sub(1);
-      });
-      platform::advance(100);
-    }
-  });
-  // HTM-based locks may run several *speculative* attempts concurrently,
-  // but committed effects must be serializable: verified by NoLostUpdates.
-  // For pessimistic locks the flag is also exact.
-  EXPECT_GE(max_inside, 1);
-}
+// Writer serialization is verified systematically rather than by an ad-hoc
+// loop here: tests/check/test_checker_locks.cpp drives every lock type
+// through controlled schedules (bounded-exhaustive DFS and PCT) and checks
+// the committed histories for lost updates and linearizability against the
+// sequential rw-lock spec. (The previous WritersSerializeObservably test
+// only asserted max_inside >= 1 — vacuously true — because speculative HTM
+// attempts may legitimately overlap before aborting.)
 
 TYPED_TEST(LockSafety, ReadWriteExclusionOnCommittedState) {
   // Readers snapshot a monotonically growing pair (seq, payload) where
@@ -207,10 +194,10 @@ TYPED_TEST(LockSafety, StatsCountEverySection) {
 
 TYPED_TEST(LockSafety, MixedStressKeepsInvariant) {
   // Randomized mixed workload over an array with invariant sum == 0.
-  // Seed replay: SPRWL_SEED=<seed printed on failure> reruns the exact
-  // schedule (the run is deterministic given the seed).
+  // The run is deterministic given the seed; failures print the standard
+  // replay line (tests/support/seed_replay.h).
   const std::uint64_t seed = fault::env_seed(3);
-  SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
+  SCOPED_TRACE(testutil::seed_replay(seed));
   struct alignas(64) Slot {
     htm::Shared<std::int64_t> v;
   };
@@ -250,7 +237,7 @@ TYPED_TEST(LockSafety, MixedStressKeepsInvariant) {
 // hosts) safety check for every lock type.
 TYPED_TEST(LockSafety, RealThreadStress) {
   const std::uint64_t seed = fault::env_seed(42);
-  SCOPED_TRACE("replay with SPRWL_SEED=" + std::to_string(seed));
+  SCOPED_TRACE(testutil::seed_replay(seed));
   htm::Shared<std::uint64_t> counter(0);
   std::atomic<std::uint64_t> torn{0};
   struct alignas(64) Pair {

@@ -1,0 +1,22 @@
+// The library-wide seed-replay convention for randomized tests.
+//
+// Every suite that derives randomness from fault::env_seed() attaches this
+// line to its failure output (via SCOPED_TRACE or an assertion message), so
+// any failure anywhere prints the same actionable instruction:
+//
+//   SPRWL_SEED=<n> to replay
+//
+// and re-running the test with that environment variable reproduces the
+// failing run bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sprwl::testutil {
+
+inline std::string seed_replay(std::uint64_t seed) {
+  return "SPRWL_SEED=" + std::to_string(seed) + " to replay";
+}
+
+}  // namespace sprwl::testutil
