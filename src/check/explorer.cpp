@@ -1,5 +1,6 @@
 #include "check/explorer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "check/policies.h"
@@ -96,9 +97,54 @@ ExploreReport explore_dfs(const RunFn& run, const Workload& w,
 
 ExploreReport explore_pct(const RunFn& run, const Workload& w,
                           const ExploreOptions& opt) {
-  PctPolicy policy(opt.seed, opt.pct_depth, expected_decisions(w));
   ExploreReport rep;
-  for (std::uint64_t r = 0; r < opt.max_runs; ++r) {
+  std::size_t expected = expected_decisions(w);
+  rep.calibrated_decisions = expected;
+
+  // Calibration phase: a few runs under the static heuristic, measuring how
+  // many decisions this (lock, workload) really takes per run. The runs are
+  // judged like any other — a violation here ends the exploration the same
+  // way — and count toward max_runs.
+  const std::uint64_t calib = std::min<std::uint64_t>(
+      opt.calibration_runs > 0
+          ? static_cast<std::uint64_t>(opt.calibration_runs)
+          : 0,
+      opt.max_runs);
+  if (calib > 0) {
+    std::vector<std::size_t> lengths;
+    lengths.reserve(static_cast<std::size_t>(calib));
+    PctPolicy policy(opt.seed, opt.pct_depth, expected);
+    for (std::uint64_t r = 0; r < calib; ++r) {
+      const RunResult rr = run(policy);
+      ++rep.schedules;
+      lengths.push_back(rr.trace.size());
+      const Verdict v = evaluate(rr);
+      if (v.violation()) {
+        finalize_violation(run, w, opt, "pct", rr, v, &rep);
+        return rep;
+      }
+    }
+    // Median of the measured lengths: robust against the odd livelocked
+    // run that burnt the whole decision budget. The stall allowance is
+    // added on top: a run can extend past its useful work by up to
+    // no_progress_bound verification-round decisions before the livelock
+    // verdict, and change points must be able to land inside that window —
+    // strict-priority starvation of a fair lock's spin-waiter is only
+    // broken by a change point, so a horizon that stops at the median
+    // would turn every late stall into a guaranteed false livelock.
+    std::sort(lengths.begin(), lengths.end());
+    const std::size_t median = lengths[lengths.size() / 2];
+    if (median > 0) {
+      sim::SimConfig sc;
+      sc.no_progress_bound = w.no_progress_bound;
+      expected = median +
+                 static_cast<std::size_t>(sc.resolved_no_progress_bound(w.threads));
+    }
+    rep.calibrated_decisions = expected;
+  }
+
+  PctPolicy policy(opt.seed, opt.pct_depth, expected);
+  for (std::uint64_t r = rep.schedules; r < opt.max_runs; ++r) {
     const RunResult rr = run(policy);
     ++rep.schedules;
     const Verdict v = evaluate(rr);

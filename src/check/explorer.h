@@ -19,6 +19,13 @@ struct ExploreOptions {
   /// PCT base seed; recorded in artifacts and in the artifact file name.
   std::uint64_t seed = 1;
   int pct_depth = 3;
+  /// PCT depth calibration: the first runs of explore_pct execute with the
+  /// static decision-count heuristic, then the *measured* median trace
+  /// length replaces it for the remaining runs — Burckhardt et al.'s
+  /// probabilistic guarantee assumes change points land uniformly over the
+  /// real decision count, which the heuristic can miss by the retry-loop
+  /// factor of spin-heavy locks. 0 disables calibration.
+  int calibration_runs = 5;
   bool sleep_sets = true;
   /// Replay runs the minimizer may spend shrinking a failing trace.
   int minimize_budget = 400;
@@ -31,6 +38,11 @@ struct ExploreReport {
   std::uint64_t schedules = 0;  ///< complete runs judged
   std::uint64_t pruned = 0;     ///< sleep-set prunes (DFS only)
   bool exhausted = false;       ///< DFS: the whole bounded tree was covered
+  /// PCT: decision count the post-calibration runs sampled change points
+  /// over (the measured median plus the livelock-bound stall allowance;
+  /// the static heuristic when calibration was off or cut short by an
+  /// early violation).
+  std::size_t calibrated_decisions = 0;
   bool found_violation = false;
   Verdict verdict;            ///< first violation (when found)
   std::vector<int> repro;     ///< minimized choice sequence for it

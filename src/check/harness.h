@@ -37,9 +37,12 @@ struct Workload {
   int writers = 1;
   int ops_per_thread = 1;
   int cells = 4;
-  /// Forwarded to sim::SimConfig (see there).
+  /// Forwarded to sim::SimConfig (see there). no_progress_bound = 0 keeps
+  /// the simulator's auto-derivation (64 + 16 * threads): queue-lock
+  /// handoff chains grow with the thread count, so a flat constant starts
+  /// misreading healthy MCS/phase-fair handoffs as livelock at 8+ threads.
   std::size_t max_decisions = 4000;
-  int no_progress_bound = 64;
+  int no_progress_bound = 0;
 };
 
 struct RunResult {

@@ -18,6 +18,16 @@ core::Config sprwl_cfg(const Workload& w) {
   return core::Config::variant(core::SchedulingVariant::kFull, w.threads);
 }
 
+core::Config sharded_cfg(const Workload& w) {
+  core::Config c = sprwl_cfg(w);
+  // Split the checker threads over two simulated sockets so the sharded
+  // scan really reads two summaries (one socket would degenerate to a
+  // single-word scan, hiding cross-shard interleavings from the checker).
+  c.socket_sharded_tracking = true;
+  c.topology = sim::Topology::split(w.threads, 2);
+  return c;
+}
+
 template <class MakeLock>
 RunFn bind(const Workload& w, MakeLock make_lock) {
   return [w, make_lock](sim::SchedulePolicy& policy) {
@@ -29,6 +39,7 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
+          "SpRWL-sharded",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
@@ -55,6 +66,21 @@ RunFn make_runner(const std::string& name, const Workload& w) {
     return bind(w, [w] {
       core::Config c = sprwl_cfg(w);
       c.use_snzi = true;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-sharded") {
+    return bind(w, [w] { return core::SpRWLock(sharded_cfg(w)); });
+  }
+  if (name == "SpRWL-sharded-broken") {
+    // The broken-scan self-validation under the hierarchical layout: the
+    // writer's commit scan skips the socket summary owning reader tid 0,
+    // so it can commit over that whole socket's live readers. Accepted by
+    // make_runner only (like SpRWL-broken); never listed as healthy.
+    return bind(w, [w] {
+      core::Config c = sharded_cfg(w);
+      c.reader_htm_first = false;
+      c.broken_scan_skip_tid = 0;
       return core::SpRWLock(c);
     });
   }

@@ -42,6 +42,21 @@ struct CostModel {
   /// behaviour of pthread's internal mutex that the paper's flat RWL curve
   /// reflects.
   std::uint64_t contention_unit = 30;
+  /// Topology-tiered coherence extras, charged *on top of* load/store/cas
+  /// when the HTM engine tracks line owners (sim::Topology with >1 socket,
+  /// or EngineConfig::track_line_owners): the accessing core pulls the line
+  /// from the core that touched it last.
+  ///
+  /// remote_socket is the extra for a same-socket transfer (core-to-core
+  /// through the shared LLC). It defaults to 0 because the flat 8-cycle
+  /// load already prices the mostly-warm LLC mix — keeping the default
+  /// model, and therefore every existing single-socket result, bit-exact.
+  /// remote_cross is the extra for a cross-socket transfer (QPI/NUMA hop;
+  /// ~100 extra cycles ≈ the 2-3x local-to-remote ratio Intel publishes
+  /// for 2-socket Broadwell). It only ever applies when a topology with
+  /// >= 2 sockets is configured, so it too is invisible by default.
+  std::uint64_t remote_socket = 0;
+  std::uint64_t remote_cross = 100;
   double ghz = 2.0;  ///< virtual clock frequency, for tx/s
 };
 

@@ -36,6 +36,8 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -50,6 +52,7 @@
 #include "htm/shared.h"
 #include "locks/sgl.h"
 #include "locks/stats.h"
+#include "sim/topology.h"
 #include "snzi/snzi.h"
 
 namespace sprwl::core {
@@ -98,6 +101,24 @@ struct Config {
   /// SNZI tree depth; 0 = auto-size so there are roughly max_threads/2
   /// leaves (bounded contention per leaf, logarithmic update cost).
   int snzi_levels = 0;
+  /// Topology-aware hierarchical reader tracking (DESIGN.md §11): shard the
+  /// flags plane per socket. Readers keep their per-thread flag but the
+  /// flag slots are laid out socket-major with per-socket line padding (a
+  /// reader's flag store only ever touches a socket-local line), and each
+  /// socket additionally maintains a one-word reader count on its own cache
+  /// line. The writer's commit-time scan then transactionally reads the S
+  /// socket summaries instead of ceil(T/8) flag lines — a smaller
+  /// transactional read set AND fewer cross-socket line pulls per commit
+  /// attempt. Any reader arrival still bumps a subscribed summary line, so
+  /// the scan aborts on exactly the same interleavings as the flat layouts
+  /// (the safety argument is unchanged; the checker registers this as the
+  /// "SpRWL-sharded" variant). When use_snzi is also set the SNZI tree goes
+  /// socket-major instead (snzi::Snzi::Config). Off = today's flat layouts.
+  bool socket_sharded_tracking = false;
+  /// The machine shape the sharding follows (socket-major dense tids, like
+  /// sim::SimConfig::topology). The 1-socket default degenerates to one
+  /// shard: a single summary word in front of the flat flags.
+  sim::Topology topology{};
   /// Expected duration, in cycles, used before the first sample arrives.
   std::uint64_t bootstrap_estimate = 500;
 
@@ -158,13 +179,30 @@ class SpRWLock {
 
   explicit SpRWLock(Config cfg)
       : cfg_(cfg),
-        state_(static_cast<std::size_t>(cfg.max_threads)),
+        sharded_(cfg.socket_sharded_tracking),
+        sockets_(sharded_ ? std::max(cfg.topology.sockets, 1) : 1),
+        socket_stride_(sharded_ ? round_to_line(slots_per_socket(cfg))
+                                : static_cast<std::size_t>(cfg.max_threads)),
+        state_(sharded_ ? static_cast<std::size_t>(sockets_) * socket_stride_
+                        : static_cast<std::size_t>(cfg.max_threads)),
+        socket_count_(sharded_
+                          ? static_cast<std::size_t>(sockets_) * kFlagsPerLine
+                          : 0),
         clock_w_(static_cast<std::size_t>(cfg.max_threads)),
         clock_r_(static_cast<std::size_t>(cfg.max_threads)),
         waiting_for_(static_cast<std::size_t>(cfg.max_threads)),
         waiting_ver_(static_cast<std::size_t>(cfg.max_threads)),
         reader_aborts_(static_cast<std::size_t>(cfg.max_threads)),
+        scan_stats_(static_cast<std::size_t>(cfg.max_threads)),
         modes_(cfg.max_threads) {
+    if (sharded_ && sockets_ > 1 &&
+        (cfg_.topology.cores_per_socket <= 0 ||
+         sockets_ * cfg_.topology.cores_per_socket < cfg_.max_threads)) {
+      // An undersized topology would wrap two tids onto one flag slot.
+      throw std::invalid_argument(
+          "SpRWLock: socket_sharded_tracking needs sockets * "
+          "cores_per_socket >= max_threads (see sim::Topology::split)");
+    }
     for (auto& w : waiting_for_) w->store(-1, std::memory_order_relaxed);
     for (auto& e : read_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
     for (auto& e : write_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
@@ -175,7 +213,15 @@ class SpRWLock {
         levels = 1;
         while ((1 << (levels - 1)) * 2 < cfg.max_threads && levels < 8) ++levels;
       }
-      snzi_ = std::make_unique<snzi::Snzi>(snzi::Snzi::Config{levels});
+      snzi::Snzi::Config sc;
+      sc.levels = levels;
+      if (sharded_) {
+        // Socket-major leaves: same-socket slots share a contiguous leaf
+        // block, so reader arrive/depart traffic stays socket-local.
+        sc.sockets = cfg_.topology.sockets;
+        sc.cores_per_socket = cfg_.topology.cores_per_socket;
+      }
+      snzi_ = std::make_unique<snzi::Snzi>(sc);
     }
     mode_.raw_store(cfg_.use_snzi ? kModeSnzi : kModeFlags);
     transition_.raw_store(0);
@@ -186,11 +232,31 @@ class SpRWLock {
   bool tracking_with_snzi() const { return mode_.raw_load() == kModeSnzi; }
   bool tracking_transition_active() const { return transition_.raw_load() != 0; }
 
+  /// Leaf count of the SNZI tree, if one exists (tests pin the auto-sizing
+  /// here); 0 when tracking is flags-only.
+  std::size_t snzi_leaf_count() const {
+    return snzi_ != nullptr ? snzi_->leaf_count() : 0;
+  }
+
+  /// Virtual cycles spent in commit-time reader scans that ran to
+  /// completion without finding a reader (an abort unwinds before the
+  /// sample is taken), and how many such scans there were. The NUMA bench
+  /// divides them to show the sharded scan's smaller read set.
+  std::uint64_t commit_scan_cycles() const {
+    std::uint64_t n = 0;
+    for (const auto& s : scan_stats_) n += s.value.cycles;
+    return n;
+  }
+  std::uint64_t commit_scan_count() const {
+    std::uint64_t n = 0;
+    for (const auto& s : scan_stats_) n += s.value.scans;
+    return n;
+  }
+
   /// Executes f as a read-only critical section identified by cs_id.
   template <class F>
   void read(int cs_id, F&& f) {
-    const int tid = platform::thread_id();
-    assert(tid >= 0 && tid < cfg_.max_threads);
+    const int tid = checked_tid();
 
     if (cfg_.reader_htm_first && try_reader_htm(f)) {
       trace::emit(trace::Event::kReadHtmCommit);
@@ -256,8 +322,7 @@ class SpRWLock {
   /// Executes f as an update critical section identified by cs_id.
   template <class F>
   void write(int cs_id, F&& f) {
-    const int tid = platform::thread_id();
-    assert(tid >= 0 && tid < cfg_.max_threads);
+    const int tid = checked_tid();
     htm::Engine* engine = htm::Engine::current();
     assert(engine != nullptr && "SpRWL requires an installed htm::Engine");
 
@@ -266,11 +331,11 @@ class SpRWLock {
       // Advertise the writer and its expected end time (Alg. 2).
       clock_w_[static_cast<std::size_t>(tid)]->store(
           platform::now() + write_estimate(cs_id), std::memory_order_relaxed);
-      state_[static_cast<std::size_t>(tid)].store(kWriter);
+      state_[state_slot(tid)].store(kWriter);
       htm::memory_fence();
     }
     ScopeExit clear_flag([&] {
-      if (flagged) state_[static_cast<std::size_t>(tid)].store(kIdle);
+      if (flagged) state_[state_slot(tid)].store(kIdle);
     });
     fault::checkpoint(fault::InjectPoint::kWriteEnter, this);
 
@@ -400,6 +465,7 @@ class SpRWLock {
   void reset_stats() {
     modes_.reset();
     for (auto& c : reader_aborts_) c.value = 0;
+    for (auto& s : scan_stats_) s.value = {};
   }
 
   const Config& config() const noexcept { return cfg_; }
@@ -417,6 +483,69 @@ class SpRWLock {
 
   static std::size_t ema_slot(int cs_id) noexcept {
     return static_cast<std::size_t>(cs_id) % kEmaSlots;
+  }
+
+  static std::size_t round_to_line(std::size_t slots) noexcept {
+    return (slots + kFlagsPerLine - 1) / kFlagsPerLine * kFlagsPerLine;
+  }
+
+  /// Flag slots one socket's shard needs. A topology without an explicit
+  /// cores_per_socket puts every thread on socket 0, so the single shard
+  /// must hold them all.
+  static std::size_t slots_per_socket(const Config& cfg) noexcept {
+    const int cps = cfg.topology.cores_per_socket;
+    if (cfg.topology.sockets <= 1 || cps <= 0)
+      return static_cast<std::size_t>(cfg.max_threads);
+    return static_cast<std::size_t>(cps);
+  }
+
+  /// Entry-point thread validation: a dense id >= max_threads would index
+  /// out of bounds in every per-thread array of this lock, and release
+  /// builds used to do exactly that (the assert compiled away). Failing
+  /// loudly at section entry turns a mis-sized Config into a diagnosable
+  /// error instead of silent corruption.
+  int checked_tid() const {
+    const int tid = platform::thread_id();
+    if (tid < 0 || tid >= cfg_.max_threads) {
+      throw std::out_of_range(
+          "SpRWLock: thread id " + std::to_string(tid) +
+          " outside [0, max_threads=" + std::to_string(cfg_.max_threads) +
+          "); raise Config::max_threads or give the thread a dense id "
+          "(sim::Simulator / ThreadIdScope)");
+    }
+    return tid;
+  }
+
+  /// Flag-slot index of `tid`. Flat: the dense tid. Sharded: socket-major
+  /// with each socket's shard padded to cache-line granularity, so a
+  /// reader's flag store never touches another socket's line.
+  std::size_t state_slot(int tid) const noexcept {
+    if (!sharded_) return static_cast<std::size_t>(tid);
+    const int cps = cfg_.topology.cores_per_socket;
+    const std::size_t local =
+        cps > 0 ? static_cast<std::size_t>(tid % cps) : static_cast<std::size_t>(tid);
+    return static_cast<std::size_t>(cfg_.topology.socket_of(tid)) *
+               socket_stride_ +
+           local;
+  }
+
+  /// Index of socket `s`'s summary word (each summary owns a full line).
+  std::size_t socket_word(int s) const noexcept {
+    return static_cast<std::size_t>(s) * kFlagsPerLine;
+  }
+
+  /// SNZI-style per-socket reader count: the zero/non-zero state of socket
+  /// s's readers in one word on socket s's own line. A strong-isolation CAS
+  /// loop — the arrival's version bump on this line is what aborts any
+  /// writer whose commit scan already subscribed it.
+  void socket_count_update(int tid, std::int64_t delta) {
+    htm::Shared<std::uint64_t>& c =
+        socket_count_[socket_word(cfg_.topology.socket_of(tid))];
+    for (;;) {
+      const std::uint64_t v = c.load();
+      if (c.cas(v, v + static_cast<std::uint64_t>(delta))) return;
+      platform::pause();
+    }
   }
 
   std::uint64_t read_estimate(int cs_id) const {
@@ -467,7 +596,8 @@ class SpRWLock {
     if (mode == kModeSnzi) {
       snzi_->arrive(tid);
     } else {
-      state_[static_cast<std::size_t>(tid)].store(kReader);  // strong isolation
+      state_[state_slot(tid)].store(kReader);  // strong isolation
+      if (sharded_) socket_count_update(tid, +1);
     }
     htm::memory_fence();  // flag must be visible before the section's reads
   }
@@ -494,7 +624,8 @@ class SpRWLock {
     if (mode == kModeSnzi) {
       snzi_->depart(tid);
     } else {
-      state_[static_cast<std::size_t>(tid)].store(kIdle);
+      state_[state_slot(tid)].store(kIdle);
+      if (sharded_) socket_count_update(tid, -1);
     }
   }
 
@@ -525,6 +656,12 @@ class SpRWLock {
 
   bool structure_quiet(std::uint64_t mode) const {
     if (mode == kModeSnzi) return snzi_->root_count_raw() == 0;
+    if (sharded_) {
+      for (int s = 0; s < sockets_; ++s) {
+        if (socket_count_[socket_word(s)].raw_load() != 0) return false;
+      }
+      return true;
+    }
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (state_[static_cast<std::size_t>(t)].raw_load() == kReader) return false;
     }
@@ -532,7 +669,17 @@ class SpRWLock {
   }
 
   /// Commit-time reader check, executed inside the writer's transaction.
+  /// The wrapper samples the scan's virtual-cycle cost; an abort_tx unwinds
+  /// past the sample, so only scans that found no reader are measured.
   void check_for_readers(htm::Engine* engine, int tid) {
+    const std::uint64_t scan_start = platform::now();
+    check_for_readers_impl(engine, tid);
+    auto& s = scan_stats_[static_cast<std::size_t>(tid)].value;
+    s.cycles += platform::now() - scan_start;
+    ++s.scans;
+  }
+
+  void check_for_readers_impl(htm::Engine* engine, int tid) {
     bool check_snzi = cfg_.use_snzi;
     bool check_flags = !cfg_.use_snzi;
     if (cfg_.adaptive_tracking) {
@@ -545,6 +692,27 @@ class SpRWLock {
     }
     if (check_snzi && snzi_->query()) engine->abort_tx(kCodeReader);
     if (!check_flags) return;
+    if (sharded_) {
+      // Hierarchical scan: S transactionally-subscribed socket summaries
+      // instead of ceil(T/8) flag lines. A reader arriving on any socket
+      // bumps its summary line's version (socket_count_update publishes
+      // through the engine), which aborts this transaction exactly as a
+      // flag store to a subscribed flag line would — the read set got
+      // smaller, not the set of interleavings that kill the scan.
+      // broken_scan_skip_tid blinds the scan to that tid's whole socket
+      // (checker self-validation of the sharded layout; see Config).
+      const int skip_socket =
+          cfg_.broken_scan_skip_tid >= 0
+              ? cfg_.topology.socket_of(cfg_.broken_scan_skip_tid)
+              : -1;
+      for (int s = 0; s < sockets_; ++s) {
+        if (s == skip_socket) continue;
+        if (socket_count_[socket_word(s)].load() != 0) {
+          engine->abort_tx(kCodeReader);
+        }
+      }
+      return;
+    }
     if (cfg_.batched_reader_scan && cfg_.broken_scan_skip_tid < 0) {
       // Line-granular scan: state_ is 64-byte aligned, so elements
       // [base, base+8) share one cache line; one OR-summary read covers
@@ -630,7 +798,7 @@ class SpRWLock {
   /// Plain (uncharged beyond one load) view of another thread's state,
   /// used by the scheduling code that runs outside any transaction.
   std::uint64_t state_raw(int t) {
-    return state_[static_cast<std::size_t>(t)].load();
+    return state_[state_slot(t)].load();
   }
 
   template <class F>
@@ -667,24 +835,48 @@ class SpRWLock {
       while (snzi_->query()) platform::pause();
       if (cfg_.use_snzi) return;
     }
+    // Sharded mode drains per slot too (state_raw resolves through the
+    // shard layout): the socket summaries are for the *transactional*
+    // commit scan, where read-set size decides aborts. Here the SGL is
+    // held and arriving readers defer with a transient advertise/
+    // unadvertise — a count-based drain would keep observing their +1/-1
+    // churn and spin long after every section finished, while the per-slot
+    // scan passes each slot the moment it clears and never revisits it.
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (t == tid) continue;
       while (state_raw(t) == kReader) platform::pause();
     }
   }
 
+  struct ScanStat {
+    std::uint64_t cycles = 0;
+    std::uint64_t scans = 0;
+  };
+
   Config cfg_;
   locks::SglLock gl_;
+  // Sharding geometry, resolved once from cfg_ (declared before the arrays
+  // they size). socket_stride_ is the flag-slot count each socket's shard
+  // occupies, rounded to line granularity so shards never share a line.
+  bool sharded_;
+  int sockets_;
+  std::size_t socket_stride_;
   // Packed like the paper's state[N] array: a writer's commit-time scan
   // touches ~N/8 lines (it must fit HTM capacity), at the price that one
   // reader's flag store invalidates the whole line of 8 flags — the
-  // trade-off the SNZI variant (one root word) removes.
+  // trade-off the SNZI variant (one root word) removes. In sharded mode
+  // the slots are laid out socket-major with per-socket line padding (see
+  // state_slot) and the scan moves to socket_count_.
   aligned_vector<htm::Shared<std::uint64_t>> state_;
+  // Sharded mode: per-socket reader counts, one line (kFlagsPerLine words)
+  // per socket, count in word 0. Empty in flat mode.
+  aligned_vector<htm::Shared<std::uint64_t>> socket_count_;
   std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_w_;
   std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_r_;
   std::vector<CacheLinePadded<std::atomic<int>>> waiting_for_;
   std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> waiting_ver_;
   std::vector<CacheLinePadded<std::uint64_t>> reader_aborts_;
+  std::vector<CacheLinePadded<ScanStat>> scan_stats_;
   std::unique_ptr<snzi::Snzi> snzi_;
   htm::Shared<std::uint64_t> mode_;        ///< current tracking structure
   htm::Shared<std::uint64_t> transition_;  ///< nonzero: writers check both

@@ -43,6 +43,10 @@ Engine::Engine(EngineConfig cfg)
   line_id_limit_ = 1u << (id_bits - 1);
   line_keys_ = std::vector<std::atomic<std::uint64_t>>(1ULL << id_bits);
   line_ids_ = std::vector<std::atomic<std::uint32_t>>(1ULL << id_bits);
+  track_owners_ = cfg.track_line_owners || cfg.topology.sockets > 1;
+  if (track_owners_) {
+    owners_ = std::vector<std::atomic<std::uint32_t>>(1ULL << cfg.table_bits);
+  }
   descriptors_.reserve(static_cast<std::size_t>(cfg.max_threads));
   std::uint64_t seed_state = cfg.seed;
   for (int i = 0; i < cfg.max_threads; ++i) {
@@ -122,6 +126,23 @@ void Engine::extend(Descriptor& d) {
   d.rv = new_rv;
 }
 
+std::uint64_t Engine::coherence_extra(std::uint32_t line) noexcept {
+  const int tid = platform::thread_id();
+  if (tid < 0) return 0;  // no dense id -> no socket; leave ownership alone
+  std::atomic<std::uint32_t>& slot = owners_[line];
+  const std::uint32_t self_id = static_cast<std::uint32_t>(tid) + 1;
+  const std::uint32_t prev = slot.load(std::memory_order_relaxed);
+  if (prev == self_id) return 0;  // local hit
+  slot.store(self_id, std::memory_order_relaxed);
+  if (prev == 0) return 0;  // first touch: the line is born local
+  if (cfg_.topology.same_socket(static_cast<int>(prev) - 1, tid)) {
+    socket_transfers_.fetch_add(1, std::memory_order_relaxed);
+    return g_costs.remote_socket;
+  }
+  cross_transfers_.fetch_add(1, std::memory_order_relaxed);
+  return g_costs.remote_cross;
+}
+
 std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
   Descriptor& d = self();
   assert(d.depth > 0 && "tx_read outside a transaction");
@@ -136,6 +157,7 @@ std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
   if (d.is_rot) return cell.load(std::memory_order_acquire);
 
   const std::uint32_t line = line_of(addr);
+  if (track_owners_) charge_coherence(line);
   bool inserted = false;
   std::uint32_t& slot = d.read_lines.get_or_insert(
       line, static_cast<std::uint32_t>(d.reads.size()), inserted);
@@ -199,6 +221,7 @@ std::uint64_t Engine::tx_read_line_or(const std::atomic<std::uint64_t>* first,
 
   const auto addr = reinterpret_cast<std::uintptr_t>(first);
   const std::uint32_t line = line_of(addr);
+  if (track_owners_) charge_coherence(line);
   bool inserted = false;
   std::uint32_t& slot = d.read_lines.get_or_insert(
       line, static_cast<std::uint32_t>(d.reads.size()), inserted);
@@ -351,8 +374,14 @@ void Engine::commit_publish_perline(Descriptor& d) {
     // wait, nontx publishes to them queue on the line, flag bumps on other
     // lines drain it), and disjoint commits advance their own clocks in
     // parallel — the distributed analogue of the old zero-time global
-    // critical section.
-    platform::advance(g_costs.line_publish * lines.size());
+    // critical section. Buffered tx stores paid no coherence at tx_write
+    // time; the real traffic — pulling each written line exclusive — lands
+    // here, so topology extras are charged per line inside the window.
+    std::uint64_t extra = 0;
+    if (track_owners_) {
+      for (const std::uint32_t line : lines) extra += coherence_extra(line);
+    }
+    platform::advance(g_costs.line_publish * lines.size() + extra);
 
     // Write-back: no virtual-time advance from here to release, so the
     // values and their new versions appear at one virtual-time instant.
@@ -379,7 +408,12 @@ void Engine::commit_publish_perline(Descriptor& d) {
 void Engine::commit_publish_global(Descriptor& d) {
   commit_lock();
   try {
-    platform::advance(g_costs.line_publish * d.write_line_list.size());
+    std::uint64_t extra = 0;
+    if (track_owners_) {
+      for (const std::uint32_t line : d.write_line_list)
+        extra += coherence_extra(line);
+    }
+    platform::advance(g_costs.line_publish * d.write_line_list.size() + extra);
   } catch (...) {
     commit_unlock();
     throw;
@@ -464,10 +498,13 @@ void Engine::rollback_user(Descriptor& d) {
 bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
                            std::uint64_t desired,
                            const std::uint64_t* expected) {
+  // The publish pulls the line exclusive whatever the serialization mode;
+  // the topology extra rides on the publish-window charge.
+  const std::uint64_t extra = track_owners_ ? coherence_extra(line) : 0;
   if (cfg_.commit_mode == CommitMode::kGlobalLock) {
     commit_lock();
     try {
-      platform::advance(g_costs.line_publish);
+      platform::advance(g_costs.line_publish + extra);
     } catch (...) {
       commit_unlock();
       throw;
@@ -493,7 +530,7 @@ bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
   const std::uint64_t prelock = lock_line(line, retries);
   if (retries > 0) nontx_retries_.fetch_add(retries, std::memory_order_relaxed);
   try {
-    platform::advance(g_costs.line_publish);
+    platform::advance(g_costs.line_publish + extra);
     if (expected != nullptr &&
         cell.load(std::memory_order_acquire) != *expected) {
       table_[line].store(prelock, std::memory_order_release);
@@ -529,7 +566,10 @@ bool Engine::nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
   // Test-and-test-and-set: a failing compare is a plain load — no line
   // version bump, no publish window, nothing for live transactions to
   // conflict with (a CAS that writes nothing is invisible to coherence).
+  // It still pulls the line, so the topology extra applies.
   platform::advance(g_costs.load);
+  if (track_owners_)
+    charge_coherence(line_of(reinterpret_cast<std::uintptr_t>(&cell)));
   if (cell.load(std::memory_order_acquire) != expected) return false;
   platform::advance(g_costs.cas);
   const std::uint32_t line = line_of(reinterpret_cast<std::uintptr_t>(&cell));
@@ -549,6 +589,8 @@ EngineStats Engine::stats() const {
   }
   s.nontx_line_retries = nontx_retries_.load(std::memory_order_relaxed);
   s.publish_drains = drains_.load(std::memory_order_relaxed);
+  s.socket_transfers = socket_transfers_.load(std::memory_order_relaxed);
+  s.cross_transfers = cross_transfers_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -560,6 +602,8 @@ void Engine::reset_stats() {
   }
   nontx_retries_.store(0, std::memory_order_relaxed);
   drains_.store(0, std::memory_order_relaxed);
+  socket_transfers_.store(0, std::memory_order_relaxed);
+  cross_transfers_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sprwl::htm

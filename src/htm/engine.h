@@ -175,6 +175,21 @@ class Engine {
   bool nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
                  std::uint64_t desired);
 
+  // --- topology-aware coherence (see sim/topology.h) ----------------------
+  /// True when the engine tracks per-line last owners (>1 simulated socket,
+  /// or EngineConfig::track_line_owners). Shared<T> consults it on the
+  /// plain-access path, so it must be a single flag test.
+  bool tracks_owners() const noexcept { return track_owners_; }
+
+  /// Plain (uninstrumented) access hook, called by Shared<T> for loads that
+  /// bypass the transactional machinery while owner tracking is on: charges
+  /// the tiered coherence extra for the line owning `addr` and migrates its
+  /// ownership to the calling thread. No-op without tracking.
+  void plain_access(const void* addr) {
+    if (!track_owners_) return;
+    charge_coherence(line_of(reinterpret_cast<std::uintptr_t>(addr)));
+  }
+
   // --- fault-injection surface (src/fault) --------------------------------
   /// Dynamically overrides EngineConfig::spurious_abort_rate; the fault
   /// injector uses this to ramp interrupt storms over a virtual-time window.
@@ -315,6 +330,23 @@ class Engine {
     }
   }
 
+  /// Migrates ownership of `line` to the calling thread and returns the
+  /// virtual-cycle premium of the transfer: 0 for a local hit or first
+  /// touch, CostModel::remote_socket / remote_cross for a transfer between
+  /// cores of one socket / across sockets. Only meaningful while
+  /// track_owners_ is set; bumps the transfer counters. The model is
+  /// migratory (loads take ownership too): the common access pattern for
+  /// lock metadata is read-then-modify, and a single-owner word keeps the
+  /// tracking deterministic and O(1).
+  std::uint64_t coherence_extra(std::uint32_t line) noexcept;
+
+  /// coherence_extra + the virtual-time charge. Callers on paths that
+  /// already know the dense line id use this right at the access.
+  void charge_coherence(std::uint32_t line) {
+    const std::uint64_t extra = coherence_extra(line);
+    if (extra > 0) platform::advance(extra);
+  }
+
   void begin_attempt(Descriptor& d, bool rot);
   void commit_attempt(Descriptor& d);  // throws AbortException on conflict
   void commit_publish_perline(Descriptor& d);
@@ -374,6 +406,14 @@ class Engine {
   // id (nontx publishes); bumped only on contended/waiting rounds.
   std::atomic<std::uint64_t> nontx_retries_{0};
   std::atomic<std::uint64_t> drains_{0};
+  // Owner tracking (resolved from cfg at construction). owners_ maps the
+  // dense line id to last-owner tid + 1 (0 = untouched) and is allocated
+  // only when tracking is on — the default engine pays neither the memory
+  // nor any branch beyond the track_owners_ test.
+  bool track_owners_ = false;
+  std::vector<std::atomic<std::uint32_t>> owners_;
+  std::atomic<std::uint64_t> socket_transfers_{0};
+  std::atomic<std::uint64_t> cross_transfers_{0};
   std::vector<std::unique_ptr<Descriptor>> descriptors_;
 
   static std::atomic<Engine*> g_current;

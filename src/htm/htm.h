@@ -19,6 +19,8 @@
 
 #include <cstdint>
 
+#include "sim/topology.h"
+
 namespace sprwl::htm {
 
 /// Why a transaction attempt failed. Mirrors the cause bits of Intel RTM's
@@ -88,6 +90,16 @@ struct EngineConfig {
   std::uint64_t seed = 42;
   /// Commit-path serialization protocol (see CommitMode).
   CommitMode commit_mode = CommitMode::kPerLineLocks;
+  /// Simulated machine topology. With >1 socket the engine tracks, per
+  /// dense cache-line id, which thread touched the line last and charges
+  /// CostModel::remote_socket / remote_cross on top of the base access cost
+  /// when the line migrates (see engine.h, coherence_extra). The 1-socket
+  /// default performs no tracking and no extra charges.
+  sim::Topology topology{};
+  /// Force owner tracking on even for a 1-socket topology — lets the bench
+  /// prove tracking itself is virtual-time neutral (same-socket extras
+  /// default to 0, so outputs stay bit-identical to tracking disabled).
+  bool track_line_owners = false;
 };
 
 /// Per-engine event counters (aggregated over all threads).
@@ -106,6 +118,12 @@ struct EngineStats {
   /// nontx publishes that waited out a concurrent commit's publish window
   /// (the strong-isolation drain; see engine.h).
   std::uint64_t publish_drains = 0;
+  /// Line ownership migrations observed while owner tracking is on (zero
+  /// otherwise): transfers between cores of one socket and across sockets.
+  /// The NUMA benchmark reads these to attribute virtual-time differences
+  /// to coherence traffic rather than algorithmic work.
+  std::uint64_t socket_transfers = 0;
+  std::uint64_t cross_transfers = 0;
 
   std::uint64_t total_aborts() const noexcept {
     return aborts_conflict + aborts_capacity + aborts_explicit + aborts_spurious;

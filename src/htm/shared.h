@@ -51,10 +51,17 @@ class Shared {
   Shared() = default;
   explicit Shared(T v) noexcept { cell_.store(encode(v), std::memory_order_relaxed); }
 
-  /// Transaction-aware load. Plain (uninstrumented) outside a transaction.
+  /// Transaction-aware load. Plain (uninstrumented) outside a transaction —
+  /// with owner tracking on, the plain path still reports the access so the
+  /// line's topology-tiered transfer cost (and ownership migration) is
+  /// charged; without tracking (the default) the extra branch is one
+  /// predictable flag test.
   T load() const {
     Engine* e = Engine::current();
-    if (e != nullptr && e->in_tx()) return decode(e->tx_read(cell_));
+    if (e != nullptr) {
+      if (e->in_tx()) return decode(e->tx_read(cell_));
+      if (e->tracks_owners()) e->plain_access(&cell_);
+    }
     platform::advance(g_costs.load);
     return decode(cell_.load(std::memory_order_acquire));
   }

@@ -619,6 +619,8 @@ void Simulator::schedule_loop_controlled() {
   policy.begin_run(static_cast<int>(fibers_.size()));
   next_wake_ = ~0ULL;
   int alive = static_cast<int>(fibers_.size());
+  const int no_progress_bound =
+      cfg_.resolved_no_progress_bound(static_cast<int>(fibers_.size()));
   int stall_rounds = 0;
   std::uint64_t last_progress = progress_;
   std::vector<PendingOp> ops;
@@ -640,7 +642,7 @@ void Simulator::schedule_loop_controlled() {
       for (auto& fp : fibers_) {
         if (!fp->done) ops.push_back(fp->pending);
       }
-      if (++stall_rounds > cfg_.no_progress_bound) {
+      if (++stall_rounds > no_progress_bound) {
         livelocked_ = true;
         break;
       }

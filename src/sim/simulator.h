@@ -63,6 +63,7 @@
 
 #include "common/platform.h"
 #include "sim/schedule_policy.h"
+#include "sim/topology.h"
 
 namespace sprwl::sim {
 
@@ -96,7 +97,28 @@ struct SimConfig {
   /// Controlled mode: after this many consecutive decision rounds in which
   /// no fiber made progress (every eligible fiber merely re-parked at a
   /// spin pause), the run is declared livelocked/deadlocked and unwound.
-  int no_progress_bound = 64;
+  /// 0 (the default) derives the bound from the fiber count at run() entry:
+  /// 64 + 16 * nthreads rounds. Queue locks hand off through chains whose
+  /// zero-progress prefix grows with the number of parked waiters (an MCS
+  /// release walks the whole queue through pause decisions before the next
+  /// owner runs), so a flat constant starts flagging healthy handoffs as
+  /// livelock around 8 threads. The per-thread term keeps the bound
+  /// proportional to the deepest legitimate pending-queue a schedule can
+  /// build while still converting true livelocks into verdicts quickly.
+  /// Explicit values are honoured unchanged (livelock tests pin small ones).
+  int no_progress_bound = 0;
+
+  /// Simulated machine shape (sockets × cores-per-socket). Fiber tid = core
+  /// id, socket-major. Consumed by the HTM engine's coherence model and the
+  /// topology-aware lock layouts; the simulator itself schedules purely by
+  /// virtual time, so the default 1-socket topology changes nothing.
+  Topology topology{};
+
+  /// The no-progress bound a run over `nthreads` fibers actually uses.
+  int resolved_no_progress_bound(int nthreads) const noexcept {
+    if (no_progress_bound > 0) return no_progress_bound;
+    return 64 + 16 * (nthreads > 0 ? nthreads : 1);
+  }
 };
 
 /// Cheap per-run scheduler counters (reset at every run() entry).

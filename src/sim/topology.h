@@ -1,0 +1,59 @@
+// Simulated machine topology: sockets × cores-per-socket.
+//
+// The virtual-time cost model charges a uniform price per shared access by
+// default, which makes every core equidistant — a machine that has never
+// existed. Real multi-socket parts pay a steep premium when a cache line's
+// home moves across the interconnect (~3-10x an LLC hit on the paper's
+// Broadwell and POWER8 boxes), and that asymmetry is exactly what NUMA-aware
+// reader-indicator layouts (BRAVO-style sharding, socket-major SNZI trees)
+// exist to exploit.
+//
+// Topology is the one struct both the simulator and the HTM engine agree on:
+// the engine maps a dense thread id to a socket to decide whether an access
+// migrated a line across sockets (htm/engine.h, coherence_extra), and locks
+// use it to shard their reader-tracking planes per socket (core/sprwl.h,
+// snzi/snzi.h). It is a plain value type with no dependencies so every layer
+// can include it.
+//
+// Thread ids map to cores in socket-major order: threads [0, C) are socket
+// 0, [C, 2C) socket 1, and so on — matching how the benchmarks pin fibers.
+// The default (1 socket) makes every pair of cores same-socket, which — with
+// the default remote costs of zero — keeps single-socket runs bit-identical
+// to the flat model.
+#pragma once
+
+namespace sprwl::sim {
+
+struct Topology {
+  /// Number of sockets (NUMA domains). 1 = flat machine, the default.
+  int sockets = 1;
+  /// Cores per socket. 0 = unbounded (every thread lands on socket 0 when
+  /// sockets == 1; must be set when sockets > 1).
+  int cores_per_socket = 0;
+
+  /// True when the topology cannot distinguish any two cores.
+  bool flat() const noexcept { return sockets <= 1; }
+
+  /// Socket owning dense thread/core id `core` (socket-major assignment).
+  /// Ids past the last socket wrap, so oversubscribed runs stay valid.
+  int socket_of(int core) const noexcept {
+    if (flat() || cores_per_socket <= 0 || core < 0) return 0;
+    return (core / cores_per_socket) % sockets;
+  }
+
+  bool same_socket(int a, int b) const noexcept {
+    return socket_of(a) == socket_of(b);
+  }
+
+  /// Topology that spreads `threads` cores evenly over `sockets` sockets
+  /// (last socket takes the remainder). The benchmark sweeps use this.
+  static Topology split(int threads, int sockets) noexcept {
+    Topology t;
+    t.sockets = sockets < 1 ? 1 : sockets;
+    t.cores_per_socket =
+        t.sockets == 1 ? 0 : (threads + t.sockets - 1) / t.sockets;
+    return t;
+  }
+};
+
+}  // namespace sprwl::sim

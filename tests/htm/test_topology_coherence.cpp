@@ -1,0 +1,202 @@
+// Topology-aware coherence cost model (DESIGN.md §11): with owner tracking
+// on, every tracked access migrates the line's ownership to the accessing
+// thread and pays a tiered extra — nothing when the owner is unchanged or
+// the line is first-touched, CostModel::remote_socket when the previous
+// owner shares the socket, remote_cross when it does not. The defaults
+// (remote_socket = 0, tracking off, 1 socket) must make the whole model a
+// strict no-op, which is what keeps the seed benchmark outputs
+// bit-identical (fig_numa_scaling's identity check).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/costs.h"
+#include "common/platform.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+namespace sprwl::htm {
+namespace {
+
+struct alignas(64) Cell {
+  Shared<std::uint64_t> v;
+};
+
+TEST(Topology, SocketOfIsSocketMajorAndWraps) {
+  sim::Topology t;
+  t.sockets = 2;
+  t.cores_per_socket = 4;
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(3), 0);
+  EXPECT_EQ(t.socket_of(4), 1);
+  EXPECT_EQ(t.socket_of(7), 1);
+  EXPECT_EQ(t.socket_of(8), 0);  // oversubscribed ids wrap
+  EXPECT_TRUE(t.same_socket(0, 3));
+  EXPECT_FALSE(t.same_socket(3, 4));
+}
+
+TEST(Topology, FlatDefaultMakesEveryCoreEquidistant) {
+  const sim::Topology t;
+  EXPECT_TRUE(t.flat());
+  EXPECT_TRUE(t.same_socket(0, 63));
+}
+
+TEST(Topology, SplitCoversAllThreads) {
+  const sim::Topology t = sim::Topology::split(10, 4);
+  EXPECT_EQ(t.sockets, 4);
+  EXPECT_EQ(t.cores_per_socket, 3);  // ceil(10/4)
+  EXPECT_EQ(t.socket_of(9), 3);
+  const sim::Topology one = sim::Topology::split(10, 1);
+  EXPECT_TRUE(one.flat());
+}
+
+// Plain (uninstrumented) load path: the second thread's access migrates the
+// line across the interconnect and costs exactly load + remote_cross.
+TEST(TopologyCoherence, CrossSocketPlainLoadChargesRemoteCross) {
+  EngineConfig ec;
+  ec.topology = sim::Topology::split(2, 2);  // tid 0 -> socket 0, tid 1 -> 1
+  Engine engine{ec};
+  EngineScope scope(engine);
+  Cell x;
+  std::uint64_t elapsed[2] = {0, 0};
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 1) platform::advance(1000);  // strictly after tid 0's access
+    const std::uint64_t t0 = platform::now();
+    (void)x.v.load();
+    elapsed[tid] = platform::now() - t0;
+  });
+  EXPECT_EQ(elapsed[0], g_costs.load);  // first touch: born local
+  EXPECT_EQ(elapsed[1], g_costs.load + g_costs.remote_cross);
+  EXPECT_EQ(engine.stats().cross_transfers, 1u);
+  EXPECT_EQ(engine.stats().socket_transfers, 0u);
+}
+
+// Same-socket transfer: counted, but charged at remote_socket — 0 by
+// default, so an on-socket handoff costs the same as a local hit.
+TEST(TopologyCoherence, SameSocketTransferUsesRemoteSocketRate) {
+  EngineConfig ec;
+  ec.topology.sockets = 2;
+  ec.topology.cores_per_socket = 2;  // tids 0 and 1 share socket 0
+  Engine engine{ec};
+  EngineScope scope(engine);
+  Cell x;
+  std::uint64_t elapsed[2] = {0, 0};
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 1) platform::advance(1000);
+    const std::uint64_t t0 = platform::now();
+    (void)x.v.load();
+    elapsed[tid] = platform::now() - t0;
+  });
+  EXPECT_EQ(elapsed[1], g_costs.load + g_costs.remote_socket);
+  EXPECT_EQ(engine.stats().socket_transfers, 1u);
+  EXPECT_EQ(engine.stats().cross_transfers, 0u);
+}
+
+// Ownership is migratory: once a thread accessed the line, its repeat
+// accesses are local again and the bounce is charged on the way back.
+TEST(TopologyCoherence, RepeatAccessByNewOwnerIsLocal) {
+  EngineConfig ec;
+  ec.topology = sim::Topology::split(2, 2);
+  Engine engine{ec};
+  EngineScope scope(engine);
+  Cell x;
+  std::uint64_t second = 0, third = 0;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      (void)x.v.load();
+      platform::advance(5000);  // let tid 1 take the line
+      platform::advance(5000);
+      const std::uint64_t t0 = platform::now();
+      (void)x.v.load();  // bounce back: cross again
+      third = platform::now() - t0;
+    } else {
+      platform::advance(2000);
+      (void)x.v.load();  // cross transfer
+      const std::uint64_t t0 = platform::now();
+      (void)x.v.load();  // now the owner: local
+      second = platform::now() - t0;
+    }
+  });
+  EXPECT_EQ(second, g_costs.load);
+  EXPECT_EQ(third, g_costs.load + g_costs.remote_cross);
+  EXPECT_EQ(engine.stats().cross_transfers, 2u);
+}
+
+// The default engine neither tracks nor charges: the no-op guarantee the
+// single-socket benchmarks rely on.
+TEST(TopologyCoherence, DefaultEngineTracksNothing) {
+  Engine engine{EngineConfig{}};
+  EngineScope scope(engine);
+  EXPECT_FALSE(engine.tracks_owners());
+  Cell x;
+  std::uint64_t elapsed[2] = {0, 0};
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 1) platform::advance(1000);
+    const std::uint64_t t0 = platform::now();
+    (void)x.v.load();
+    elapsed[tid] = platform::now() - t0;
+  });
+  EXPECT_EQ(elapsed[0], g_costs.load);
+  EXPECT_EQ(elapsed[1], g_costs.load);
+  EXPECT_EQ(engine.stats().socket_transfers, 0u);
+  EXPECT_EQ(engine.stats().cross_transfers, 0u);
+}
+
+// Tracking forced on over a flat topology observes the transfers but adds
+// zero cost (remote_socket defaults to 0) — the identity fig_numa_scaling
+// asserts byte-for-byte on real benchmark output.
+TEST(TopologyCoherence, ForcedTrackingOnOneSocketAddsNoCost) {
+  EngineConfig ec;
+  ec.track_line_owners = true;
+  Engine engine{ec};
+  EngineScope scope(engine);
+  EXPECT_TRUE(engine.tracks_owners());
+  Cell x;
+  std::uint64_t elapsed[2] = {0, 0};
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 1) platform::advance(1000);
+    const std::uint64_t t0 = platform::now();
+    (void)x.v.load();
+    elapsed[tid] = platform::now() - t0;
+  });
+  EXPECT_EQ(elapsed[1], g_costs.load);  // transfer seen, priced at 0
+  EXPECT_EQ(engine.stats().socket_transfers, 1u);
+  EXPECT_EQ(engine.stats().cross_transfers, 0u);
+}
+
+// Transactional reads go through the same model: a tx re-reading a line a
+// remote thread owns pays the extra inside tx_read.
+TEST(TopologyCoherence, TxReadChargesCoherenceExtra) {
+  EngineConfig ec;
+  ec.topology = sim::Topology::split(2, 2);
+  Engine engine{ec};
+  EngineScope scope(engine);
+  Cell x;
+  std::uint64_t tx_elapsed = 0;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      (void)x.v.load();  // socket 0 owns the line
+    } else {
+      platform::advance(1000);
+      const TxStatus st = engine.try_transaction([&] {
+        const std::uint64_t t0 = platform::now();
+        (void)x.v.load();
+        tx_elapsed = platform::now() - t0;
+      });
+      EXPECT_TRUE(st.committed());
+    }
+  });
+  EXPECT_GE(tx_elapsed, g_costs.load + g_costs.remote_cross);
+  EXPECT_GE(engine.stats().cross_transfers, 1u);
+}
+
+}  // namespace
+}  // namespace sprwl::htm

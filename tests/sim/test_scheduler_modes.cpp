@@ -94,6 +94,21 @@ TEST(SchedulerModes, DirectSwitchHeapTrafficMatchesActivations) {
   EXPECT_EQ(a.stats.heap_pushes, a.stats.heap_pops);
 }
 
+// The livelock bound auto-derives from the fiber count (64 + 16 * n):
+// queue-lock handoff chains get longer with more parked waiters, so a flat
+// constant misreads healthy MCS handoffs as livelock at 8+ threads.
+// Explicit values are honoured unchanged (livelock tests pin small ones).
+TEST(SchedulerModes, NoProgressBoundAutoDerivesFromThreadCount) {
+  SimConfig sc;
+  EXPECT_EQ(sc.no_progress_bound, 0);  // auto is the default
+  EXPECT_EQ(sc.resolved_no_progress_bound(1), 64 + 16);
+  EXPECT_EQ(sc.resolved_no_progress_bound(8), 64 + 128);
+  EXPECT_EQ(sc.resolved_no_progress_bound(64), 64 + 1024);
+  EXPECT_EQ(sc.resolved_no_progress_bound(0), 64 + 16);  // degenerate
+  sc.no_progress_bound = 7;
+  EXPECT_EQ(sc.resolved_no_progress_bound(64), 7);
+}
+
 TEST(SchedulerModes, LegacyModeStatsResetBetweenRuns) {
   SimConfig legacy;
   legacy.legacy_ready_queue = true;
