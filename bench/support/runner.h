@@ -25,9 +25,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -62,6 +64,25 @@ class Runner {
   /// bench interleaves section headers with rows in declaration order.
   void submit(Fn compute, Fn emit = {}) {
     pending_.push_back(Task{std::move(compute), std::move(emit), nullptr});
+  }
+
+  /// Like submit(), but measures the compute's WALL-clock time (host
+  /// seconds, not virtual cycles) and hands it to the emit in milliseconds.
+  /// Wall time is nondeterministic by nature, so emits that feed
+  /// byte-identity comparisons must keep it out of the compared strings —
+  /// report it in separate fields (the JSON `wall_ms` convention).
+  void submit_timed(Fn compute, std::function<void(double)> emit) {
+    auto wall_ms = std::make_shared<double>(0.0);
+    submit(
+        [wall_ms, compute = std::move(compute)] {
+          const auto t0 = std::chrono::steady_clock::now();
+          compute();
+          const auto t1 = std::chrono::steady_clock::now();
+          *wall_ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+        },
+        emit ? Fn([wall_ms, emit = std::move(emit)] { emit(*wall_ms); })
+             : Fn{});
   }
 
   /// Runs all queued computes (across the pool; the calling thread

@@ -28,6 +28,21 @@ core::Config sharded_cfg(const Workload& w) {
   return c;
 }
 
+core::Config bravo_cfg(const Workload& w, std::size_t slots) {
+  core::Config c = sprwl_cfg(w);
+  c.bravo_bias = true;
+  // A FRESH table per make_lock call (i.e. per explored schedule): runs
+  // must not share reader-table state, or one schedule's leftover slot
+  // would leak into the next. Tiny and single-line so the interesting
+  // interleavings — slot collisions, revocation racing a fast-path
+  // publish — are reachable within the checker's schedule budget.
+  bravo::ReaderTable::Config tc;
+  tc.max_threads = w.threads;
+  tc.slots = slots;
+  c.bravo_table = std::make_shared<bravo::ReaderTable>(tc);
+  return c;
+}
+
 template <class MakeLock>
 RunFn bind(const Workload& w, MakeLock make_lock) {
   return [w, make_lock](sim::SchedulePolicy& policy) {
@@ -39,7 +54,7 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
-          "SpRWL-sharded",
+          "SpRWL-sharded", "SpRWL-bravo",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
@@ -71,6 +86,26 @@ RunFn make_runner(const std::string& name, const Workload& w) {
   }
   if (name == "SpRWL-sharded") {
     return bind(w, [w] { return core::SpRWLock(sharded_cfg(w)); });
+  }
+  if (name == "SpRWL-bravo") {
+    // Global reader bias over an 8-slot (single-line) shared table; the
+    // bias starts on, so the checker drives the full fast-path/revocation/
+    // re-bias protocol, including slot-collision fallbacks.
+    return bind(w, [w] { return core::SpRWLock(bravo_cfg(w, 8)); });
+  }
+  if (name == "SpRWL-bravo-broken") {
+    // Revocation-drain self-validation: a ONE-slot table plus a drain that
+    // skips the table's last slot means revocation drains nothing at all —
+    // a fast-path reader parked in slot 0 survives it and a writer commits
+    // over the reader's snapshot. Uninstrumented readers (no HTM-first) so
+    // the fast path is actually taken. Accepted by make_runner only, never
+    // listed as healthy.
+    return bind(w, [w] {
+      core::Config c = bravo_cfg(w, 1);
+      c.reader_htm_first = false;
+      c.broken_revoke_skip_last_slot = true;
+      return core::SpRWLock(c);
+    });
   }
   if (name == "SpRWL-sharded-broken") {
     // The broken-scan self-validation under the hierarchical layout: the

@@ -12,8 +12,9 @@
 namespace sprwl::check {
 
 /// Production lock names, in display order: SpRWL (kFull), SpRWL-unins
-/// (uninstrumented readers), SpRWL-vsgl (versioned SGL), SpRWL-snzi, TLE,
-/// RW-LE, RWL (POSIX-style), BRLock, PhaseFair, MCS-RW, PRWL.
+/// (uninstrumented readers), SpRWL-vsgl (versioned SGL), SpRWL-snzi,
+/// SpRWL-sharded (per-socket tracking), SpRWL-bravo (global reader bias),
+/// TLE, RW-LE, RWL (POSIX-style), BRLock, PhaseFair, MCS-RW, PRWL.
 std::vector<std::string> checked_locks();
 
 /// The deliberately broken SpRWL variant (commit-time reader scan skips

@@ -41,6 +41,11 @@ enum class Event : std::uint8_t {
   kModeFlipToSnzi,
   kModeFlipToFlags,
   kModeTransitionDone,
+  // BRAVO global reader bias (DESIGN.md §12)
+  kReadBiasEnter,      ///< fast-path read via the global reader table
+  kReadBiasExit,
+  kBiasRevoke,         ///< writer revoked the lock's bias; arg = drain cycles
+  kBiasRebias,         ///< reader streak re-enabled the bias
   // Fault injection (src/fault)
   kFaultPreempt,       ///< fiber descheduled; arg = duration in cycles
   kFaultSyscall,       ///< modelled syscall fired at a checkpoint
@@ -136,6 +141,10 @@ inline const char* to_string(Event e) noexcept {
     case Event::kModeFlipToSnzi: return "mode-flip-to-snzi";
     case Event::kModeFlipToFlags: return "mode-flip-to-flags";
     case Event::kModeTransitionDone: return "mode-transition-done";
+    case Event::kReadBiasEnter: return "read-bias-enter";
+    case Event::kReadBiasExit: return "read-bias-exit";
+    case Event::kBiasRevoke: return "bias-revoke";
+    case Event::kBiasRebias: return "bias-rebias";
     case Event::kFaultPreempt: return "fault-preempt";
     case Event::kFaultSyscall: return "fault-syscall";
   }

@@ -1,0 +1,151 @@
+// BRAVO-style global visible-readers table (Dice & Kogan, arXiv:1810.01553).
+//
+// SpRWL's per-lock reader tracking costs O(threads) words *per lock* — fatal
+// at the lock-table scale ROADMAP targets (millions of per-key locks, almost
+// all cold). BRAVO's observation: reader *registration* does not have to be
+// per-lock. One process-global, cache-line-padded slot array is shared by
+// every lock; a reader under a biased lock publishes (lock, tid) into its
+// hashed slot and skips the lock's flag plane entirely. Writers revoke the
+// bias and drain the table before falling back to the per-lock scan, so the
+// table only has to make readers *visible*, not countable — hash collisions
+// merely make revocation conservative (a writer may wait for a reader of a
+// different lock that shares the slot), never unsafe.
+//
+// The slots are htm::Shared words: occupy() is a strong-isolation CAS and
+// release() a strong-isolation store, so both bump their line's version and
+// are visible to transactional writers exactly like the per-lock state flags
+// (the safety argument of DESIGN.md §12 leans on this).
+//
+// Slot tags are dense lock ids (register_lock()), not addresses: the virtual
+// time a run accumulates must not depend on where the heap placed a lock, or
+// runs would be irreproducible. slot_of() mixes (lock id, tid) so that one
+// lock's readers spread over the table and one thread's locks do too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/aligned.h"
+#include "common/cacheline.h"
+#include "common/platform.h"
+#include "htm/line_set.h"
+#include "htm/shared.h"
+#include "sim/topology.h"
+
+namespace sprwl::bravo {
+
+class ReaderTable {
+ public:
+  struct Config {
+    /// Upper bound on concurrently running threads; the auto-sized table
+    /// holds slots_per_thread slots per thread so fast-path CAS failures
+    /// (collisions) stay rare.
+    int max_threads = 64;
+    int slots_per_thread = 4;
+    /// Machine shape; a table sized for more cores than max_threads keeps
+    /// collision rates flat when the run oversubscribes sockets.
+    sim::Topology topology{};
+    /// Explicit slot count override; 0 = auto from the fields above. Tests
+    /// and the checker force tiny tables (down to 1 slot) to make collision
+    /// and revocation interleavings reachable.
+    std::size_t slots = 0;
+  };
+
+  /// Slots per 64-byte line; the revocation drain reads whole lines.
+  static constexpr std::size_t kSlotsPerLine = 8;
+
+  explicit ReaderTable(Config cfg) : cfg_(cfg) {
+    std::size_t n = cfg.slots;
+    if (n == 0) {
+      int cores = cfg.topology.sockets * cfg.topology.cores_per_socket;
+      if (cores < cfg.max_threads) cores = cfg.max_threads;
+      if (cores < 1) cores = 1;
+      n = static_cast<std::size_t>(cores) *
+          static_cast<std::size_t>(cfg.slots_per_thread < 1 ? 1 : cfg.slots_per_thread);
+      n = (n + kSlotsPerLine - 1) / kSlotsPerLine * kSlotsPerLine;
+    }
+    if (n == 0) throw std::invalid_argument("ReaderTable needs >= 1 slot");
+    slots_ = aligned_vector<htm::Shared<std::uint64_t>>(n);
+  }
+
+  ReaderTable() : ReaderTable(Config{}) {}
+
+  /// Hands out the next dense lock id. Locks register at construction;
+  /// construction is a single-threaded phase (population / per-run setup),
+  /// so ids — and with them slot hashes and virtual-time traces — are
+  /// deterministic.
+  std::uint32_t register_lock() noexcept {
+    return next_lock_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::size_t slot_of(std::uint32_t lock_id, int tid) const noexcept {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(lock_id) << 32) |
+        static_cast<std::uint32_t>(tid);
+    return static_cast<std::size_t>(htm::detail::mix64(key)) % slots_.size();
+  }
+
+  /// Tag a lock's readers publish: ids are 0-based, 0 means "slot empty".
+  static std::uint64_t tag_of(std::uint32_t lock_id) noexcept {
+    return static_cast<std::uint64_t>(lock_id) + 1;
+  }
+
+  /// Fast-path publish: CAS the slot from empty to this lock's tag
+  /// (strong isolation — bumps the slot line's version). False on
+  /// collision: the caller must take the per-lock slow path.
+  bool occupy(std::size_t slot, std::uint32_t lock_id) {
+    return slots_[slot].cas(0, tag_of(lock_id));
+  }
+
+  /// Matching release (strong-isolation store).
+  void release(std::size_t slot) { slots_[slot].store(0); }
+
+  /// Revocation drain: wait until no slot holds `lock_id`'s tag. Reads one
+  /// line at a time with a single load charge (line_or_plain) and only
+  /// spins per-slot on lines whose summary is non-empty; a slot occupied by
+  /// a *different* lock costs one extra word compare, never a wait.
+  ///
+  /// `skip_last_slot` is the deliberately broken variant the DFS checker
+  /// must catch (ISSUE 6): the drain ignores the table's last slot, so a
+  /// fast-path reader parked there survives revocation and a writer can
+  /// commit over it.
+  void wait_for_readers_of(std::uint32_t lock_id, bool skip_last_slot = false) {
+    const std::uint64_t tag = tag_of(lock_id);
+    const std::size_t limit = slots_.size() - (skip_last_slot ? 1 : 0);
+    for (std::size_t base = 0; base < limit; base += kSlotsPerLine) {
+      const std::size_t count =
+          limit - base < kSlotsPerLine ? limit - base : kSlotsPerLine;
+      if (htm::line_or_plain(&slots_[base], count) == 0) continue;
+      for (std::size_t s = base; s < base + count; ++s) {
+        while (slots_[s].load() == tag) platform::pause();
+      }
+    }
+  }
+
+  /// Raw occupant of a slot (tests; 0 = empty).
+  std::uint64_t occupant_raw(std::size_t slot) const noexcept {
+    return slots_[slot].raw_load();
+  }
+
+  std::size_t slot_count() const noexcept { return slots_.size(); }
+  std::uint32_t registered_locks() const noexcept {
+    return next_lock_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Total bytes of the table — the *shared* part of the per-lock footprint
+  /// accounting (amortized over every registered lock).
+  std::size_t footprint_bytes() const noexcept {
+    return sizeof(*this) +
+           slots_.capacity() * sizeof(htm::Shared<std::uint64_t>);
+  }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+  aligned_vector<htm::Shared<std::uint64_t>> slots_;
+  std::atomic<std::uint32_t> next_lock_id_{0};
+};
+
+}  // namespace sprwl::bravo

@@ -24,7 +24,22 @@
 //    scanning the O(threads) state array (Config::use_snzi);
 //  * timed waits on the timestamp counter instead of spinning (§3.4);
 //  * the versioned-SGL reader-starvation fix sketched in §3.3
-//    (Config::versioned_sgl, off by default as in the paper).
+//    (Config::versioned_sgl, off by default as in the paper);
+//  * BRAVO-style global reader bias (Config::bravo_bias, DESIGN.md §12):
+//    readers under a biased lock publish into a process-global
+//    bravo::ReaderTable and skip the per-lock flag plane entirely;
+//    writers revoke the bias and drain the table before using the
+//    per-lock scan. Combined with the lazily allocated tracking plane
+//    below, a cold lock costs O(1) words — the property the million-lock
+//    lock-table workload (workloads/lock_table.h) depends on.
+//
+// Per-lock tracking state (flag plane, SNZI tree, scheduling clocks, EMAs,
+// stats) lives in a lazily allocated Plane: it is built on the first
+// operation that needs it and never for locks that only ever see bias-path
+// or HTM-path readers. Plane construction charges no virtual time and
+// engine line ids are assigned on first *access*, so lazy allocation is
+// invisible to the cost model — runs are bit-identical with eager
+// allocation.
 //
 // Duration estimates use a per-critical-section-id exponential moving
 // average sampled on a single thread (§3.2.1); critical sections are
@@ -47,6 +62,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "common/trace.h"
+#include "core/bravo.h"
 #include "fault/fault.h"
 #include "htm/engine.h"
 #include "htm/shared.h"
@@ -122,6 +138,25 @@ struct Config {
   /// Expected duration, in cycles, used before the first sample arrives.
   std::uint64_t bootstrap_estimate = 500;
 
+  // --- BRAVO global reader bias (DESIGN.md §12) ---------------------------
+  /// Route readers through the process-global bravo_table while this lock's
+  /// bias is on: the reader CASes its hashed slot there and never touches
+  /// the per-lock flag plane. Writers revoke the bias (kBiasRevoking →
+  /// table drain → kBiasOff) before attempting, and their commit scan
+  /// transactionally subscribes the bias word, so a concurrent re-bias
+  /// aborts them. Requires bravo_table.
+  bool bravo_bias = false;
+  /// The shared visible-readers table. One table serves every lock of the
+  /// workload; locks register for a dense id at construction.
+  std::shared_ptr<bravo::ReaderTable> bravo_table;
+  /// Consecutive reader-only acquisitions (streak, reset by any writer)
+  /// before a reader tries to re-arm a revoked bias.
+  int bravo_rebias_reads = 16;
+  /// Revocation-cost-proportional inhibition (the BRAVO paper's rule): a
+  /// re-bias is additionally suppressed until the bias has been off for
+  /// this multiple of the sampled revocation latency.
+  double bravo_rebias_cooldown = 8.0;
+
   // --- graceful degradation under adverse schedules (DESIGN.md §8) --------
   /// Exponential backoff between retries after conflict/spurious aborts
   /// (abort storms): first delay, doubling up to the cap. Reader aborts use
@@ -150,6 +185,10 @@ struct Config {
   /// lets a writer commit over a live reader. The systematic checker must
   /// catch the resulting atomicity violation; never set in production.
   int broken_scan_skip_tid = -1;
+  /// Checker self-validation ONLY: the bravo revocation drain ignores the
+  /// global table's last slot, so a fast-path reader parked there survives
+  /// revocation and a writer can commit over it. Never set in production.
+  bool broken_revoke_skip_last_slot = false;
 
   static Config variant(SchedulingVariant v, int max_threads) {
     Config c;
@@ -178,23 +217,11 @@ class SpRWLock {
   static constexpr std::uint8_t kCodeReader = 0x02;
 
   explicit SpRWLock(Config cfg)
-      : cfg_(cfg),
-        sharded_(cfg.socket_sharded_tracking),
-        sockets_(sharded_ ? std::max(cfg.topology.sockets, 1) : 1),
-        socket_stride_(sharded_ ? round_to_line(slots_per_socket(cfg))
-                                : static_cast<std::size_t>(cfg.max_threads)),
-        state_(sharded_ ? static_cast<std::size_t>(sockets_) * socket_stride_
-                        : static_cast<std::size_t>(cfg.max_threads)),
-        socket_count_(sharded_
-                          ? static_cast<std::size_t>(sockets_) * kFlagsPerLine
-                          : 0),
-        clock_w_(static_cast<std::size_t>(cfg.max_threads)),
-        clock_r_(static_cast<std::size_t>(cfg.max_threads)),
-        waiting_for_(static_cast<std::size_t>(cfg.max_threads)),
-        waiting_ver_(static_cast<std::size_t>(cfg.max_threads)),
-        reader_aborts_(static_cast<std::size_t>(cfg.max_threads)),
-        scan_stats_(static_cast<std::size_t>(cfg.max_threads)),
-        modes_(cfg.max_threads) {
+      : cfg_(std::move(cfg)),
+        sharded_(cfg_.socket_sharded_tracking),
+        sockets_(sharded_ ? std::max(cfg_.topology.sockets, 1) : 1),
+        socket_stride_(sharded_ ? round_to_line(slots_per_socket(cfg_))
+                                : static_cast<std::size_t>(cfg_.max_threads)) {
     if (sharded_ && sockets_ > 1 &&
         (cfg_.topology.cores_per_socket <= 0 ||
          sockets_ * cfg_.topology.cores_per_socket < cfg_.max_threads)) {
@@ -203,39 +230,40 @@ class SpRWLock {
           "SpRWLock: socket_sharded_tracking needs sockets * "
           "cores_per_socket >= max_threads (see sim::Topology::split)");
     }
-    for (auto& w : waiting_for_) w->store(-1, std::memory_order_relaxed);
-    for (auto& e : read_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
-    for (auto& e : write_ema_) e = std::make_unique<DurationEma>(cfg.ema_alpha);
     if (cfg_.adaptive_tracking) cfg_.use_snzi = false;  // mode_ decides
-    if (cfg_.use_snzi || cfg_.adaptive_tracking) {
-      int levels = cfg.snzi_levels;
-      if (levels == 0) {
-        levels = 1;
-        while ((1 << (levels - 1)) * 2 < cfg.max_threads && levels < 8) ++levels;
+    if (cfg_.bravo_bias) {
+      if (cfg_.bravo_table == nullptr) {
+        throw std::invalid_argument(
+            "SpRWLock: Config::bravo_bias requires a shared "
+            "Config::bravo_table");
       }
-      snzi::Snzi::Config sc;
-      sc.levels = levels;
-      if (sharded_) {
-        // Socket-major leaves: same-socket slots share a contiguous leaf
-        // block, so reader arrive/depart traffic stays socket-local.
-        sc.sockets = cfg_.topology.sockets;
-        sc.cores_per_socket = cfg_.topology.cores_per_socket;
-      }
-      snzi_ = std::make_unique<snzi::Snzi>(sc);
+      lock_id_ = cfg_.bravo_table->register_lock();
+      bias_.raw_store(kBiasOn);  // read-only cold locks never build a plane
     }
-    mode_.raw_store(cfg_.use_snzi ? kModeSnzi : kModeFlags);
-    transition_.raw_store(0);
   }
+
+  ~SpRWLock() { delete plane_.load(std::memory_order_acquire); }
+  SpRWLock(const SpRWLock&) = delete;
+  SpRWLock& operator=(const SpRWLock&) = delete;
 
   /// Current reader-tracking mode (for tests and introspection):
   /// true = SNZI, false = per-thread flags.
-  bool tracking_with_snzi() const { return mode_.raw_load() == kModeSnzi; }
-  bool tracking_transition_active() const { return transition_.raw_load() != 0; }
+  bool tracking_with_snzi() const {
+    const Plane* p = plane_peek();
+    return p != nullptr ? p->mode_.raw_load() == kModeSnzi : cfg_.use_snzi;
+  }
+  bool tracking_transition_active() const {
+    const Plane* p = plane_peek();
+    return p != nullptr && p->transition_.raw_load() != 0;
+  }
 
   /// Leaf count of the SNZI tree, if one exists (tests pin the auto-sizing
-  /// here); 0 when tracking is flags-only.
-  std::size_t snzi_leaf_count() const {
-    return snzi_ != nullptr ? snzi_->leaf_count() : 0;
+  /// here); 0 when tracking is flags-only. Forces the lazy plane: callers
+  /// asking about tree geometry want the tree the lock *would* use.
+  std::size_t snzi_leaf_count() {
+    if (!cfg_.use_snzi && !cfg_.adaptive_tracking) return 0;
+    Plane& p = plane();
+    return p.snzi_ != nullptr ? p.snzi_->leaf_count() : 0;
   }
 
   /// Virtual cycles spent in commit-time reader scans that ran to
@@ -243,13 +271,17 @@ class SpRWLock {
   /// sample is taken), and how many such scans there were. The NUMA bench
   /// divides them to show the sharded scan's smaller read set.
   std::uint64_t commit_scan_cycles() const {
+    const Plane* p = plane_peek();
+    if (p == nullptr) return 0;
     std::uint64_t n = 0;
-    for (const auto& s : scan_stats_) n += s.value.cycles;
+    for (const auto& s : p->scan_stats_) n += s.value.cycles;
     return n;
   }
   std::uint64_t commit_scan_count() const {
+    const Plane* p = plane_peek();
+    if (p == nullptr) return 0;
     std::uint64_t n = 0;
-    for (const auto& s : scan_stats_) n += s.value.scans;
+    for (const auto& s : p->scan_stats_) n += s.value.scans;
     return n;
   }
 
@@ -258,35 +290,41 @@ class SpRWLock {
   void read(int cs_id, F&& f) {
     const int tid = checked_tid();
 
+    if (cfg_.bravo_bias && try_bias_read(tid, f)) return;
+
     if (cfg_.reader_htm_first && try_reader_htm(f)) {
       trace::emit(trace::Event::kReadHtmCommit);
-      modes_.record_read(locks::CommitMode::kHtm);
+      htm_reads_.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.bravo_bias) maybe_rebias();
       return;
     }
 
     // Uninstrumented path.
+    Plane& p = plane();
     bool have_pass = false;       // versioned-SGL bypass (§3.3)
     std::uint64_t pass_below = 0;
     std::uint64_t track_mode = kModeFlags;
     for (;;) {
-      if (cfg_.reader_sync && !have_pass) readers_wait(tid);
+      if (cfg_.reader_sync && !have_pass) readers_wait(p, tid);
       if (cfg_.writer_sync) {
-        clock_r_[static_cast<std::size_t>(tid)]->store(
-            platform::now() + read_estimate(cs_id), std::memory_order_relaxed);
+        p.clock_r_[static_cast<std::size_t>(tid)]->store(
+            platform::now() + read_estimate(p, cs_id),
+            std::memory_order_relaxed);
       }
-      track_mode = advertise_reader(tid);
+      track_mode = advertise_reader(p, tid);
       if (cfg_.versioned_sgl) {
-        waiting_ver_[static_cast<std::size_t>(tid)]->store(0, std::memory_order_release);
+        p.waiting_ver_[static_cast<std::size_t>(tid)]->store(
+            0, std::memory_order_release);
       }
       if (!gl_.is_locked()) break;
       if (have_pass && gl_.version() > pass_below) break;  // reader priority
       // Defer to the SGL holder (Alg. 1, reader_gl_sync).
       trace::emit(trace::Event::kReaderDeferSgl);
-      unadvertise_reader(tid, track_mode);
+      unadvertise_reader(p, tid, track_mode);
       if (cfg_.versioned_sgl) {
         const std::uint64_t v0 = gl_.version();
-        waiting_ver_[static_cast<std::size_t>(tid)]->store((v0 << 1) | 1,
-                                                           std::memory_order_seq_cst);
+        p.waiting_ver_[static_cast<std::size_t>(tid)]->store(
+            (v0 << 1) | 1, std::memory_order_seq_cst);
         while (gl_.is_locked() && gl_.version() <= v0) platform::pause();
         have_pass = true;
         pass_below = v0;
@@ -304,19 +342,20 @@ class SpRWLock {
     {
       ScopeExit release([&] {
         htm::memory_fence();  // reads must complete before the flag clears
-        unadvertise_reader(tid, track_mode);
+        unadvertise_reader(p, tid, track_mode);
         trace::emit(trace::Event::kReadUninsExit);
       });
       std::forward<F>(f)();
       fault::checkpoint(fault::InjectPoint::kReadExit, this);
     }
     if (tid == cfg_.sampler_tid) {
-      read_ema_[ema_slot(cs_id)]->record(platform::now() - cs_start);
-      read_estimate_hint_.store(read_ema_[ema_slot(cs_id)]->estimate(),
+      p.read_ema_[ema_slot(cs_id)]->record(platform::now() - cs_start);
+      read_estimate_hint_.store(p.read_ema_[ema_slot(cs_id)]->estimate(),
                                 std::memory_order_relaxed);
-      if (cfg_.adaptive_tracking) maybe_adapt(cs_id);
+      if (cfg_.adaptive_tracking) maybe_adapt(p, cs_id);
     }
-    modes_.record_read(locks::CommitMode::kUnins);
+    p.modes_.record_read(locks::CommitMode::kUnins);
+    if (cfg_.bravo_bias) maybe_rebias();
   }
 
   /// Executes f as an update critical section identified by cs_id.
@@ -326,16 +365,27 @@ class SpRWLock {
     htm::Engine* engine = htm::Engine::current();
     assert(engine != nullptr && "SpRWL requires an installed htm::Engine");
 
-    const bool flagged = cfg_.reader_sync;
+    if (cfg_.bravo_bias) {
+      reader_streak_.store(0, std::memory_order_relaxed);
+    }
+
+    // Advertise through the flag plane only when one exists (or bravo is
+    // off, which allocates it here as before): under bravo a cold lock has
+    // no plane and therefore no slow-path readers to schedule against —
+    // forcing a plane here would defeat the O(1)-word cold footprint.
+    const bool flagged =
+        cfg_.reader_sync && !(cfg_.bravo_bias && plane_peek() == nullptr);
+    Plane* wp = flagged ? &plane() : plane_peek();
     if (flagged) {
       // Advertise the writer and its expected end time (Alg. 2).
-      clock_w_[static_cast<std::size_t>(tid)]->store(
-          platform::now() + write_estimate(cs_id), std::memory_order_relaxed);
-      state_[state_slot(tid)].store(kWriter);
+      wp->clock_w_[static_cast<std::size_t>(tid)]->store(
+          platform::now() + write_estimate(*wp, cs_id),
+          std::memory_order_relaxed);
+      wp->state_[state_slot(tid)].store(kWriter);
       htm::memory_fence();
     }
     ScopeExit clear_flag([&] {
-      if (flagged) state_[state_slot(tid)].store(kIdle);
+      if (flagged) wp->state_[state_slot(tid)].store(kIdle);
     });
     fault::checkpoint(fault::InjectPoint::kWriteEnter, this);
 
@@ -343,14 +393,14 @@ class SpRWLock {
     // path fired so chaos runs can tell retry exhaustion from a stalled
     // reader or an exhausted budget.
     const auto escalate = [&](locks::Escalation why, int attempts) {
-      modes_.record_escalation(why);
+      plane().modes_.record_escalation(why);
       trace::emit(why == locks::Escalation::kStalledReader
                       ? trace::Event::kStalledReaderEscalate
                       : trace::Event::kWriteSglEnter,
                   static_cast<std::uint32_t>(attempts));
       fallback_write(cs_id, tid, f);
       trace::emit(trace::Event::kWriteSglExit);
-      modes_.record_write(locks::CommitMode::kGl);
+      plane().modes_.record_write(locks::CommitMode::kGl);
     };
 
     int attempts = 0;
@@ -361,6 +411,10 @@ class SpRWLock {
     bool stalled = false;
     for (;;) {
       while (gl_.is_locked()) platform::pause();
+      // Revoke the bias before every attempt: the drain guarantees no
+      // fast-path reader is live, and the in-transaction bias subscription
+      // below catches any re-bias that slips in after it (DESIGN.md §12).
+      if (cfg_.bravo_bias) revoke_bias();
       ++attempts;
       const std::uint64_t attempt_start = platform::now();
       if (!retrying) {
@@ -374,20 +428,31 @@ class SpRWLock {
       });
       if (status.committed()) {
         if (tid == cfg_.sampler_tid) {
-          write_ema_[ema_slot(cs_id)]->record(platform::now() - attempt_start);
+          if (Plane* p = plane_peek()) {
+            p->write_ema_[ema_slot(cs_id)]->record(platform::now() -
+                                                   attempt_start);
+          }
         }
         trace::emit(trace::Event::kWriteHtmCommit,
                     static_cast<std::uint32_t>(attempts));
-        modes_.record_write(locks::CommitMode::kHtm);
+        // Inline counter (like htm_reads_): recording through the plane's
+        // per-thread ModeRecorder would allocate the plane for a lock whose
+        // only traffic is HTM commits — exactly the cold case the lazy
+        // plane exists for. stats() merges the counters, so totals match.
+        htm_writes_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
-      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
+      plane().modes_.record_abort(status, kCodeLockBusy, kCodeReader);
       const bool lock_busy = status.cause == htm::AbortCause::kExplicit &&
                              status.code == kCodeLockBusy;
       const bool reader_abort = status.cause == htm::AbortCause::kExplicit &&
                                 status.code == kCodeReader;
       if (reader_abort) {
-        ++reader_aborts_[static_cast<std::size_t>(tid)].value;
+        if (Plane* p = plane_peek()) {
+          ++p->reader_aborts_[static_cast<std::size_t>(tid)].value;
+        } else {
+          cold_reader_aborts_.fetch_add(1, std::memory_order_relaxed);
+        }
         trace::emit(trace::Event::kWriteAbortReader);
       }
       if (status.cause == htm::AbortCause::kCapacity) {
@@ -403,7 +468,7 @@ class SpRWLock {
         --attempts;
         retrying = false;
         stalled = false;
-        modes_.record_escalation(locks::Escalation::kLemmingAvoided);
+        plane().modes_.record_escalation(locks::Escalation::kLemmingAvoided);
         trace::emit(trace::Event::kLemmingAvoided);
         continue;
       }
@@ -452,20 +517,69 @@ class SpRWLock {
     fault::checkpoint(fault::InjectPoint::kWriteExit, this);
   }
 
-  locks::LockStats stats() const { return modes_.snapshot(); }
+  locks::LockStats stats() const {
+    locks::LockStats s;
+    if (const Plane* p = plane_peek()) s = p->modes_.snapshot();
+    s.reads.htm += htm_reads_.load(std::memory_order_relaxed);
+    s.reads.unins += bias_reads_.load(std::memory_order_relaxed);
+    s.writes.htm += htm_writes_.load(std::memory_order_relaxed);
+    return s;
+  }
 
   /// Writer aborts caused by an active reader (the paper's "reader" abort
   /// class, reported separately from other explicit aborts).
   std::uint64_t reader_abort_count() const {
-    std::uint64_t n = 0;
-    for (const auto& c : reader_aborts_) n += c.value;
+    std::uint64_t n = cold_reader_aborts_.load(std::memory_order_relaxed);
+    if (const Plane* p = plane_peek()) {
+      for (const auto& c : p->reader_aborts_) n += c.value;
+    }
     return n;
   }
 
   void reset_stats() {
-    modes_.reset();
-    for (auto& c : reader_aborts_) c.value = 0;
-    for (auto& s : scan_stats_) s.value = {};
+    if (Plane* p = plane_.load(std::memory_order_acquire)) {
+      p->modes_.reset();
+      for (auto& c : p->reader_aborts_) c.value = 0;
+      for (auto& s : p->scan_stats_) s.value = {};
+    }
+    htm_reads_.store(0, std::memory_order_relaxed);
+    htm_writes_.store(0, std::memory_order_relaxed);
+    bias_reads_.store(0, std::memory_order_relaxed);
+    cold_reader_aborts_.store(0, std::memory_order_relaxed);
+    revocations_.store(0, std::memory_order_relaxed);
+    revoke_cycles_.store(0, std::memory_order_relaxed);
+    rebias_count_.store(0, std::memory_order_relaxed);
+  }
+
+  // --- BRAVO introspection (tests and the lock-table bench) ---------------
+
+  /// Raw view of the bias word (no virtual-time charge).
+  bool bias_is_on() const { return bias_.raw_load() == kBiasOn; }
+  std::uint64_t bias_read_count() const {
+    return bias_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t revocation_count() const {
+    return revocations_.load(std::memory_order_relaxed);
+  }
+  /// Total virtual cycles writers spent in revocation drains.
+  std::uint64_t revocation_cycles() const {
+    return revoke_cycles_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rebias_count() const {
+    return rebias_count_.load(std::memory_order_relaxed);
+  }
+  /// Dense id in the shared reader table (bravo only; 0 otherwise).
+  std::uint32_t lock_id() const noexcept { return lock_id_; }
+  bool has_plane() const noexcept { return plane_peek() != nullptr; }
+
+  /// Bytes this lock owns: the O(1)-word shell plus, if some operation
+  /// forced it, the lazily allocated tracking plane. The shared bravo
+  /// table is *not* included — it amortizes over every registered lock
+  /// (workloads report it separately).
+  std::size_t footprint_bytes() const {
+    std::size_t b = sizeof(*this);
+    if (const Plane* p = plane_peek()) b += p->bytes();
+    return b;
   }
 
   const Config& config() const noexcept { return cfg_; }
@@ -480,6 +594,116 @@ class SpRWLock {
   static constexpr std::uint64_t kModeFlags = 0;
   static constexpr std::uint64_t kModeSnzi = 1;
   static constexpr std::size_t kEmaSlots = 256;
+  // Bias word states (DESIGN.md §12). Writers treat anything != kBiasOff as
+  // "fast readers may exist": kBiasRevoking keeps a second writer out of
+  // the section until the first writer's drain completes and publishes
+  // kBiasOff — the two-writer revocation race.
+  static constexpr std::uint64_t kBiasOff = 0;
+  static constexpr std::uint64_t kBiasOn = 1;
+  static constexpr std::uint64_t kBiasRevoking = 2;
+
+  struct ScanStat {
+    std::uint64_t cycles = 0;
+    std::uint64_t scans = 0;
+  };
+
+  /// Everything whose size scales with max_threads (or holds a tree):
+  /// reader flags, scheduling clocks, EMAs, SNZI, stats. Built on first
+  /// need; cold locks never pay for it. Construction does plain
+  /// allocation + raw stores only — no engine access, no virtual time —
+  /// and the engine assigns line ids on first *access*, so lazy
+  /// allocation is bit-identical to eager allocation.
+  struct Plane {
+    Plane(const Config& cfg, bool sharded, int sockets, std::size_t stride)
+        : state_(sharded ? static_cast<std::size_t>(sockets) * stride
+                         : static_cast<std::size_t>(cfg.max_threads)),
+          socket_count_(sharded
+                            ? static_cast<std::size_t>(sockets) * kFlagsPerLine
+                            : 0),
+          clock_w_(static_cast<std::size_t>(cfg.max_threads)),
+          clock_r_(static_cast<std::size_t>(cfg.max_threads)),
+          waiting_for_(static_cast<std::size_t>(cfg.max_threads)),
+          waiting_ver_(static_cast<std::size_t>(cfg.max_threads)),
+          reader_aborts_(static_cast<std::size_t>(cfg.max_threads)),
+          scan_stats_(static_cast<std::size_t>(cfg.max_threads)),
+          modes_(cfg.max_threads) {
+      for (auto& w : waiting_for_) w->store(-1, std::memory_order_relaxed);
+      for (auto& e : read_ema_) {
+        e = std::make_unique<DurationEma>(cfg.ema_alpha);
+      }
+      for (auto& e : write_ema_) {
+        e = std::make_unique<DurationEma>(cfg.ema_alpha);
+      }
+      if (cfg.use_snzi || cfg.adaptive_tracking) {
+        int levels = cfg.snzi_levels;
+        if (levels == 0) {
+          levels = 1;
+          // The cap follows max_threads (clamped only by the tree's own
+          // limit): a hard `levels < 8` clamp here used to silently
+          // under-size the tree past 256 threads — 128 leaves for 1024
+          // threads, quadrupling per-leaf contention.
+          while ((1 << (levels - 1)) * 2 < cfg.max_threads &&
+                 levels < snzi::Snzi::kMaxLevels) {
+            ++levels;
+          }
+        }
+        snzi::Snzi::Config sc;
+        sc.levels = levels;
+        if (sharded) {
+          // Socket-major leaves: same-socket slots share a contiguous leaf
+          // block, so reader arrive/depart traffic stays socket-local.
+          sc.sockets = cfg.topology.sockets;
+          sc.cores_per_socket = cfg.topology.cores_per_socket;
+        }
+        snzi_ = std::make_unique<snzi::Snzi>(sc);
+      }
+      mode_.raw_store(cfg.use_snzi ? kModeSnzi : kModeFlags);
+      transition_.raw_store(0);
+    }
+
+    /// Heap bytes of the plane (per-lock footprint accounting).
+    std::size_t bytes() const {
+      std::size_t b = sizeof(Plane);
+      b += state_.capacity() * sizeof(htm::Shared<std::uint64_t>);
+      b += socket_count_.capacity() * sizeof(htm::Shared<std::uint64_t>);
+      b += clock_w_.capacity() *
+           sizeof(CacheLinePadded<std::atomic<std::uint64_t>>);
+      b += clock_r_.capacity() *
+           sizeof(CacheLinePadded<std::atomic<std::uint64_t>>);
+      b += waiting_for_.capacity() * sizeof(CacheLinePadded<std::atomic<int>>);
+      b += waiting_ver_.capacity() *
+           sizeof(CacheLinePadded<std::atomic<std::uint64_t>>);
+      b += reader_aborts_.capacity() * sizeof(CacheLinePadded<std::uint64_t>);
+      b += scan_stats_.capacity() * sizeof(CacheLinePadded<ScanStat>);
+      if (snzi_ != nullptr) b += snzi_->footprint_bytes();
+      b += kEmaSlots * 2 * sizeof(DurationEma);
+      b += modes_.footprint_bytes();
+      return b;
+    }
+
+    // Packed like the paper's state[N] array: a writer's commit-time scan
+    // touches ~N/8 lines (it must fit HTM capacity), at the price that one
+    // reader's flag store invalidates the whole line of 8 flags — the
+    // trade-off the SNZI variant (one root word) removes. In sharded mode
+    // the slots are laid out socket-major with per-socket line padding (see
+    // state_slot) and the scan moves to socket_count_.
+    aligned_vector<htm::Shared<std::uint64_t>> state_;
+    // Sharded mode: per-socket reader counts, one line (kFlagsPerLine
+    // words) per socket, count in word 0. Empty in flat mode.
+    aligned_vector<htm::Shared<std::uint64_t>> socket_count_;
+    std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_w_;
+    std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_r_;
+    std::vector<CacheLinePadded<std::atomic<int>>> waiting_for_;
+    std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> waiting_ver_;
+    std::vector<CacheLinePadded<std::uint64_t>> reader_aborts_;
+    std::vector<CacheLinePadded<ScanStat>> scan_stats_;
+    std::unique_ptr<snzi::Snzi> snzi_;
+    htm::Shared<std::uint64_t> mode_;        ///< current tracking structure
+    htm::Shared<std::uint64_t> transition_;  ///< nonzero: writers check both
+    std::unique_ptr<DurationEma> read_ema_[kEmaSlots];
+    std::unique_ptr<DurationEma> write_ema_[kEmaSlots];
+    locks::ModeRecorder modes_;
+  };
 
   static std::size_t ema_slot(int cs_id) noexcept {
     return static_cast<std::size_t>(cs_id) % kEmaSlots;
@@ -497,6 +721,38 @@ class SpRWLock {
     if (cfg.topology.sockets <= 1 || cps <= 0)
       return static_cast<std::size_t>(cfg.max_threads);
     return static_cast<std::size_t>(cps);
+  }
+
+  Plane* plane_peek() const noexcept {
+    return plane_.load(std::memory_order_acquire);
+  }
+
+  /// The lazily allocated tracking plane; builds it on first call.
+  Plane& plane() {
+    Plane* p = plane_peek();
+    return p != nullptr ? *p : install_plane();
+  }
+
+  Plane& install_plane() {
+    auto fresh =
+        std::make_unique<Plane>(cfg_, sharded_, sockets_, socket_stride_);
+    Plane* expected = nullptr;
+    if (plane_.compare_exchange_strong(expected, fresh.get(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      Plane* p = fresh.release();
+      if (cfg_.bravo_bias) {
+        // Strong-isolation publish: a writer's commit scan subscribes this
+        // word to short-circuit when no plane exists, so the install must
+        // bump its line version (and thereby abort such a writer) exactly
+        // like a reader flag store would. Never reached inside a
+        // transaction: the bravo scan only dereferences the plane *after*
+        // reading 1 here. Bravo-off locks never touch the word at all.
+        plane_published_.store(1);
+      }
+      return *p;
+    }
+    return *expected;  // lost the install race; `fresh` frees itself
   }
 
   /// Entry-point thread validation: a dense id >= max_threads would index
@@ -538,9 +794,9 @@ class SpRWLock {
   /// s's readers in one word on socket s's own line. A strong-isolation CAS
   /// loop — the arrival's version bump on this line is what aborts any
   /// writer whose commit scan already subscribed it.
-  void socket_count_update(int tid, std::int64_t delta) {
+  void socket_count_update(Plane& p, int tid, std::int64_t delta) {
     htm::Shared<std::uint64_t>& c =
-        socket_count_[socket_word(cfg_.topology.socket_of(tid))];
+        p.socket_count_[socket_word(cfg_.topology.socket_of(tid))];
     for (;;) {
       const std::uint64_t v = c.load();
       if (c.cas(v, v + static_cast<std::uint64_t>(delta))) return;
@@ -548,12 +804,12 @@ class SpRWLock {
     }
   }
 
-  std::uint64_t read_estimate(int cs_id) const {
-    const std::uint64_t e = read_ema_[ema_slot(cs_id)]->estimate();
+  std::uint64_t read_estimate(Plane& p, int cs_id) const {
+    const std::uint64_t e = p.read_ema_[ema_slot(cs_id)]->estimate();
     return e != 0 ? e : cfg_.bootstrap_estimate;
   }
-  std::uint64_t write_estimate(int cs_id) const {
-    const std::uint64_t e = write_ema_[ema_slot(cs_id)]->estimate();
+  std::uint64_t write_estimate(Plane& p, int cs_id) const {
+    const std::uint64_t e = p.write_ema_[ema_slot(cs_id)]->estimate();
     return e != 0 ? e : cfg_.bootstrap_estimate;
   }
 
@@ -570,6 +826,99 @@ class SpRWLock {
     return std::max(cfg_.reader_stall_slack_cycles, scaled);
   }
 
+  // --- BRAVO fast path / revocation / re-bias (DESIGN.md §12) -------------
+
+  /// Biased reader fast path: publish (lock, tid) in the global table and
+  /// run the section without ever touching the per-lock plane. False means
+  /// "take the slow path" — bias off, slot collision, or a concurrent
+  /// revocation/SGL writer won the race.
+  template <class F>
+  bool try_bias_read(int tid, F&& f) {
+    if (bias_.load() != kBiasOn) return false;
+    bravo::ReaderTable& table = *cfg_.bravo_table;
+    const std::size_t slot = table.slot_of(lock_id_, tid);
+    if (!table.occupy(slot, lock_id_)) return false;  // collision
+    htm::memory_fence();  // publish the slot before validating bias / SGL
+    if (bias_.load() != kBiasOn || gl_.is_locked()) {
+      // Dekker with the writer (publish-slot/check-bias vs
+      // publish-revoking/scan-slots): losing the race here means the
+      // writer's drain may already have passed our line, so back out and
+      // register where the writer is looking.
+      table.release(slot);
+      return false;
+    }
+    fault::checkpoint(fault::InjectPoint::kReadEnter, this);
+    trace::emit(trace::Event::kReadBiasEnter);
+    {
+      ScopeExit release([&] {
+        htm::memory_fence();  // reads must complete before the slot clears
+        table.release(slot);
+        trace::emit(trace::Event::kReadBiasExit);
+      });
+      f();
+      fault::checkpoint(fault::InjectPoint::kReadExit, this);
+    }
+    bias_reads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Writer-side revocation. Three-state protocol: only the writer whose
+  /// CAS moves kBiasOn → kBiasRevoking drains the table; every other
+  /// writer arriving mid-revocation waits for the kBiasOff publish, so no
+  /// writer can enter its section while a fast-path reader might still be
+  /// live (the two-writer revocation race).
+  void revoke_bias() {
+    for (;;) {
+      const std::uint64_t b = bias_.load();
+      if (b == kBiasOff) return;
+      if (b == kBiasOn && bias_.cas(kBiasOn, kBiasRevoking)) {
+        htm::memory_fence();  // order the state change before the scan
+        const std::uint64_t t0 = platform::now();
+        cfg_.bravo_table->wait_for_readers_of(
+            lock_id_, cfg_.broken_revoke_skip_last_slot);
+        const std::uint64_t dur = platform::now() - t0;
+        bias_.store(kBiasOff);  // publish: other writers may proceed
+        trace::emit(trace::Event::kBiasRevoke,
+                    static_cast<std::uint32_t>(dur));
+        revocations_.fetch_add(1, std::memory_order_relaxed);
+        revoke_cycles_.fetch_add(dur, std::memory_order_relaxed);
+        const std::uint64_t prev =
+            revoke_ema_hint_.load(std::memory_order_relaxed);
+        revoke_ema_hint_.store(prev == 0 ? dur : prev - prev / 8 + dur / 8,
+                               std::memory_order_relaxed);
+        last_revoke_end_.store(platform::now(), std::memory_order_relaxed);
+        return;
+      }
+      platform::pause();  // another writer is draining; wait for kBiasOff
+    }
+  }
+
+  /// Reader-side adaptive re-bias: after bravo_rebias_reads consecutive
+  /// reader-only acquisitions (writers reset the streak) and once the
+  /// revocation-EMA cooldown has passed, re-arm the bias. The decision
+  /// peeks raw state (uncharged heuristics); the flip itself is a charged
+  /// strong-isolation CAS whose version bump aborts any writer whose
+  /// commit scan already subscribed the bias word.
+  void maybe_rebias() {
+    const std::uint64_t streak =
+        reader_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak < static_cast<std::uint64_t>(cfg_.bravo_rebias_reads)) return;
+    if (bias_.raw_load() != kBiasOff) return;
+    const std::uint64_t last =
+        last_revoke_end_.load(std::memory_order_relaxed);
+    const std::uint64_t ema = revoke_ema_hint_.load(std::memory_order_relaxed);
+    if (last != 0 && ema != 0) {
+      const auto cool = static_cast<std::uint64_t>(
+          cfg_.bravo_rebias_cooldown * static_cast<double>(ema));
+      if (platform::now() - last < cool) return;
+    }
+    if (bias_.cas(kBiasOff, kBiasOn)) {
+      reader_streak_.store(0, std::memory_order_relaxed);
+      rebias_count_.fetch_add(1, std::memory_order_relaxed);
+      trace::emit(trace::Event::kBiasRebias);
+    }
+  }
+
   /// §3.4: optimistic one-shot HTM execution of a reader.
   template <class F>
   bool try_reader_htm(F&& f) {
@@ -584,7 +933,7 @@ class SpRWLock {
         f();
       });
       if (status.committed()) return true;
-      modes_.record_abort(status, kCodeLockBusy, kCodeReader);
+      plane().modes_.record_abort(status, kCodeLockBusy, kCodeReader);
       if (status.cause == htm::AbortCause::kCapacity ||
           attempts >= cfg_.reader_htm_retries) {
         return false;
@@ -592,12 +941,12 @@ class SpRWLock {
     }
   }
 
-  void register_reader(int tid, std::uint64_t mode) {
+  void register_reader(Plane& p, int tid, std::uint64_t mode) {
     if (mode == kModeSnzi) {
-      snzi_->arrive(tid);
+      p.snzi_->arrive(tid);
     } else {
-      state_[state_slot(tid)].store(kReader);  // strong isolation
-      if (sharded_) socket_count_update(tid, +1);
+      p.state_[state_slot(tid)].store(kReader);  // strong isolation
+      if (sharded_) socket_count_update(p, tid, +1);
     }
     htm::memory_fence();  // flag must be visible before the section's reads
   }
@@ -607,25 +956,26 @@ class SpRWLock {
   /// Under adaptive tracking the mode is re-checked after registration so
   /// that a reader racing a mode flip can never sit, active, in a
   /// structure the sampler already declared drained.
-  std::uint64_t advertise_reader(int tid) {
-    std::uint64_t m =
-        cfg_.adaptive_tracking ? mode_.load() : (cfg_.use_snzi ? kModeSnzi : kModeFlags);
+  std::uint64_t advertise_reader(Plane& p, int tid) {
+    std::uint64_t m = cfg_.adaptive_tracking
+                          ? p.mode_.load()
+                          : (cfg_.use_snzi ? kModeSnzi : kModeFlags);
     for (;;) {
-      register_reader(tid, m);
+      register_reader(p, tid, m);
       if (!cfg_.adaptive_tracking) return m;
-      const std::uint64_t cur = mode_.load();
+      const std::uint64_t cur = p.mode_.load();
       if (cur == m) return m;
-      unadvertise_reader(tid, m);
+      unadvertise_reader(p, tid, m);
       m = cur;
     }
   }
 
-  void unadvertise_reader(int tid, std::uint64_t mode) {
+  void unadvertise_reader(Plane& p, int tid, std::uint64_t mode) {
     if (mode == kModeSnzi) {
-      snzi_->depart(tid);
+      p.snzi_->depart(tid);
     } else {
-      state_[state_slot(tid)].store(kIdle);
-      if (sharded_) socket_count_update(tid, -1);
+      p.state_[state_slot(tid)].store(kIdle);
+      if (sharded_) socket_count_update(p, tid, -1);
     }
   }
 
@@ -633,37 +983,39 @@ class SpRWLock {
   /// structure when the sampled reader duration crosses the threshold.
   /// Two-phase: transition_ stays set (writers check BOTH structures)
   /// until the old structure is observed drained.
-  void maybe_adapt(int cs_id) {
-    if (transition_.load() != 0) {
+  void maybe_adapt(Plane& p, int cs_id) {
+    if (p.transition_.load() != 0) {
       const std::uint64_t old_mode =
-          mode_.load() == kModeSnzi ? kModeFlags : kModeSnzi;
-      if (structure_quiet(old_mode)) {
-        transition_.store(0);
+          p.mode_.load() == kModeSnzi ? kModeFlags : kModeSnzi;
+      if (structure_quiet(p, old_mode)) {
+        p.transition_.store(0);
         trace::emit(trace::Event::kModeTransitionDone);
       }
       return;
     }
     const std::uint64_t desired =
-        read_estimate(cs_id) >= cfg_.adaptive_threshold_cycles ? kModeSnzi
-                                                               : kModeFlags;
-    if (desired != mode_.load()) {
-      transition_.store(1);  // ordered before the flip (engine-serialized)
-      mode_.store(desired);
+        read_estimate(p, cs_id) >= cfg_.adaptive_threshold_cycles ? kModeSnzi
+                                                                  : kModeFlags;
+    if (desired != p.mode_.load()) {
+      p.transition_.store(1);  // ordered before the flip (engine-serialized)
+      p.mode_.store(desired);
       trace::emit(desired == kModeSnzi ? trace::Event::kModeFlipToSnzi
                                        : trace::Event::kModeFlipToFlags);
     }
   }
 
-  bool structure_quiet(std::uint64_t mode) const {
-    if (mode == kModeSnzi) return snzi_->root_count_raw() == 0;
+  bool structure_quiet(Plane& p, std::uint64_t mode) const {
+    if (mode == kModeSnzi) return p.snzi_->root_count_raw() == 0;
     if (sharded_) {
       for (int s = 0; s < sockets_; ++s) {
-        if (socket_count_[socket_word(s)].raw_load() != 0) return false;
+        if (p.socket_count_[socket_word(s)].raw_load() != 0) return false;
       }
       return true;
     }
     for (int t = 0; t < cfg_.max_threads; ++t) {
-      if (state_[static_cast<std::size_t>(t)].raw_load() == kReader) return false;
+      if (p.state_[static_cast<std::size_t>(t)].raw_load() == kReader) {
+        return false;
+      }
     }
     return true;
   }
@@ -674,23 +1026,35 @@ class SpRWLock {
   void check_for_readers(htm::Engine* engine, int tid) {
     const std::uint64_t scan_start = platform::now();
     check_for_readers_impl(engine, tid);
-    auto& s = scan_stats_[static_cast<std::size_t>(tid)].value;
-    s.cycles += platform::now() - scan_start;
-    ++s.scans;
+    if (Plane* p = plane_peek()) {
+      auto& s = p->scan_stats_[static_cast<std::size_t>(tid)].value;
+      s.cycles += platform::now() - scan_start;
+      ++s.scans;
+    }
   }
 
   void check_for_readers_impl(htm::Engine* engine, int tid) {
+    if (cfg_.bravo_bias) {
+      // Transactional reads — both are *subscriptions*: a re-bias (reader
+      // about to take the fast path) or a plane install (first slow-path
+      // reader arriving) after this point bumps the word's line version
+      // and aborts this writer at validation, so neither kind of reader
+      // can hide (DESIGN.md §12).
+      if (bias_.load() != kBiasOff) engine->abort_tx(kCodeReader);
+      if (plane_published_.load() == 0) return;  // no slow reader ever
+    }
+    Plane& p = plane();
     bool check_snzi = cfg_.use_snzi;
     bool check_flags = !cfg_.use_snzi;
     if (cfg_.adaptive_tracking) {
       // Transactional reads: the writer subscribes to the mode words, so a
       // transition mid-transaction aborts it rather than hiding a reader.
-      const bool in_transition = transition_.load() != 0;
-      const std::uint64_t m = mode_.load();
+      const bool in_transition = p.transition_.load() != 0;
+      const std::uint64_t m = p.mode_.load();
       check_snzi = in_transition || m == kModeSnzi;
       check_flags = in_transition || m == kModeFlags;
     }
-    if (check_snzi && snzi_->query()) engine->abort_tx(kCodeReader);
+    if (check_snzi && p.snzi_->query()) engine->abort_tx(kCodeReader);
     if (!check_flags) return;
     if (sharded_) {
       // Hierarchical scan: S transactionally-subscribed socket summaries
@@ -707,7 +1071,7 @@ class SpRWLock {
               : -1;
       for (int s = 0; s < sockets_; ++s) {
         if (s == skip_socket) continue;
-        if (socket_count_[socket_word(s)].load() != 0) {
+        if (p.socket_count_[socket_word(s)].load() != 0) {
           engine->abort_tx(kCodeReader);
         }
       }
@@ -723,7 +1087,7 @@ class SpRWLock {
       const auto n = static_cast<std::size_t>(cfg_.max_threads);
       for (std::size_t base = 0; base < n; base += kFlagsPerLine) {
         const std::size_t count = std::min(kFlagsPerLine, n - base);
-        if ((htm::line_or(*engine, &state_[base], count) & kReader) != 0) {
+        if ((htm::line_or(*engine, &p.state_[base], count) & kReader) != 0) {
           engine->abort_tx(kCodeReader);
         }
       }
@@ -731,7 +1095,7 @@ class SpRWLock {
     }
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (t == tid || t == cfg_.broken_scan_skip_tid) continue;
-      if (state_[static_cast<std::size_t>(t)].load() == kReader) {
+      if (p.state_[static_cast<std::size_t>(t)].load() == kReader) {
         engine->abort_tx(kCodeReader);
       }
     }
@@ -739,21 +1103,21 @@ class SpRWLock {
 
   /// Alg. 2 Readers_Wait: wait for the active writer expected to end last,
   /// or join a reader that is already waiting for one.
-  void readers_wait(int tid) {
+  void readers_wait(Plane& p, int tid) {
     int wait_for = -1;
     bool joined = false;
     std::uint64_t max_end = 0;
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (t == tid) continue;
       const std::size_t s = static_cast<std::size_t>(t);
-      if (state_raw(t) == kWriter) {
-        const std::uint64_t end = clock_w_[s]->load(std::memory_order_relaxed);
+      if (state_raw(p, t) == kWriter) {
+        const std::uint64_t end = p.clock_w_[s]->load(std::memory_order_relaxed);
         if (wait_for == -1 || end > max_end) {
           max_end = end;
           wait_for = t;
         }
       } else if (cfg_.reader_join) {
-        const int other = waiting_for_[s]->load(std::memory_order_acquire);
+        const int other = p.waiting_for_[s]->load(std::memory_order_acquire);
         if (other != -1) {
           wait_for = other;  // align our start with that reader's
           joined = true;
@@ -765,29 +1129,35 @@ class SpRWLock {
     trace::emit(joined ? trace::Event::kReaderJoin : trace::Event::kReaderWait,
                 static_cast<std::uint32_t>(wait_for));
     const std::size_t me = static_cast<std::size_t>(tid);
-    waiting_for_[me]->store(wait_for, std::memory_order_release);
+    p.waiting_for_[me]->store(wait_for, std::memory_order_release);
     // Timed wait up to the writer's expected end (§3.4), then poll.
     const std::uint64_t until =
-        clock_w_[static_cast<std::size_t>(wait_for)]->load(std::memory_order_relaxed);
+        p.clock_w_[static_cast<std::size_t>(wait_for)]->load(
+            std::memory_order_relaxed);
     if (until > platform::now()) platform::wait_until(until);
-    while (state_raw(wait_for) == kWriter) platform::pause();
-    waiting_for_[me]->store(-1, std::memory_order_release);
+    while (state_raw(p, wait_for) == kWriter) platform::pause();
+    p.waiting_for_[me]->store(-1, std::memory_order_release);
   }
 
   /// Alg. 3 writer_wait: delay the retry so the write is expected to end δ
-  /// cycles after the last active reader.
+  /// cycles after the last active reader. Without a plane there is no
+  /// slow-path reader to wait for (bias readers carry no end-time clock).
   void writer_wait(int cs_id, int tid) {
+    Plane* pp = plane_peek();
+    if (pp == nullptr) return;
+    Plane& p = *pp;
     std::uint64_t last_reader_end = 0;
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (t == tid) continue;
-      if (state_raw(t) == kReader) {
+      if (state_raw(p, t) == kReader) {
         const std::uint64_t end =
-            clock_r_[static_cast<std::size_t>(t)]->load(std::memory_order_relaxed);
+            p.clock_r_[static_cast<std::size_t>(t)]->load(
+                std::memory_order_relaxed);
         if (end > last_reader_end) last_reader_end = end;
       }
     }
     if (last_reader_end == 0) return;
-    const std::uint64_t dur = write_estimate(cs_id);
+    const std::uint64_t dur = write_estimate(p, cs_id);
     const std::uint64_t lead =
         dur - static_cast<std::uint64_t>(static_cast<double>(dur) * cfg_.delta_fraction);
     const std::uint64_t target =
@@ -797,23 +1167,30 @@ class SpRWLock {
 
   /// Plain (uncharged beyond one load) view of another thread's state,
   /// used by the scheduling code that runs outside any transaction.
-  std::uint64_t state_raw(int t) {
-    return state_[state_slot(t)].load();
+  std::uint64_t state_raw(Plane& p, int t) {
+    return p.state_[state_slot(t)].load();
   }
 
   template <class F>
   void fallback_write(int cs_id, int tid, F&& f) {
     gl_.lock();
+    // Revoke *under* the SGL: a fast-path reader validates the SGL after
+    // publishing its slot, so any reader that slipped past the lock is in
+    // the table and this drain waits it out; later readers see the busy
+    // SGL and defer (DESIGN.md §12).
+    if (cfg_.bravo_bias) revoke_bias();
     if (cfg_.versioned_sgl) {
-      // §3.3: let readers that started waiting before this acquisition in.
-      const std::uint64_t my_ver = gl_.version();
-      for (int t = 0; t < cfg_.max_threads; ++t) {
-        if (t == tid) continue;
-        auto& wv = *waiting_ver_[static_cast<std::size_t>(t)];
-        for (;;) {
-          const std::uint64_t v = wv.load(std::memory_order_acquire);
-          if ((v & 1) == 0 || (v >> 1) >= my_ver) break;
-          platform::pause();
+      if (Plane* pp = plane_peek()) {
+        // §3.3: let readers that started waiting before this acquisition in.
+        const std::uint64_t my_ver = gl_.version();
+        for (int t = 0; t < cfg_.max_threads; ++t) {
+          if (t == tid) continue;
+          auto& wv = *pp->waiting_ver_[static_cast<std::size_t>(t)];
+          for (;;) {
+            const std::uint64_t v = wv.load(std::memory_order_acquire);
+            if ((v & 1) == 0 || (v >> 1) >= my_ver) break;
+            platform::pause();
+          }
         }
       }
     }
@@ -824,15 +1201,22 @@ class SpRWLock {
       f();
     }
     if (tid == cfg_.sampler_tid) {
-      write_ema_[ema_slot(cs_id)]->record(platform::now() - start);
+      if (Plane* pp = plane_peek()) {
+        pp->write_ema_[ema_slot(cs_id)]->record(platform::now() - start);
+      }
     }
   }
 
   /// Alg. 1 wait_for_readers: executed while holding the SGL; readers that
-  /// find the SGL busy defer, so this drains.
+  /// find the SGL busy defer, so this drains. No plane = no slow-path
+  /// reader ever advertised = nothing to drain (a reader installing the
+  /// plane after the peek sees the busy SGL and defers before running).
   void wait_for_readers(int tid) {
+    Plane* pp = plane_peek();
+    if (pp == nullptr) return;
+    Plane& p = *pp;
     if (cfg_.use_snzi || cfg_.adaptive_tracking) {
-      while (snzi_->query()) platform::pause();
+      while (p.snzi_->query()) platform::pause();
       if (cfg_.use_snzi) return;
     }
     // Sharded mode drains per slot too (state_raw resolves through the
@@ -844,48 +1228,36 @@ class SpRWLock {
     // scan passes each slot the moment it clears and never revisits it.
     for (int t = 0; t < cfg_.max_threads; ++t) {
       if (t == tid) continue;
-      while (state_raw(t) == kReader) platform::pause();
+      while (state_raw(p, t) == kReader) platform::pause();
     }
   }
 
-  struct ScanStat {
-    std::uint64_t cycles = 0;
-    std::uint64_t scans = 0;
-  };
-
   Config cfg_;
   locks::SglLock gl_;
-  // Sharding geometry, resolved once from cfg_ (declared before the arrays
-  // they size). socket_stride_ is the flag-slot count each socket's shard
-  // occupies, rounded to line granularity so shards never share a line.
+  // Sharding geometry, resolved once from cfg_ (declared before use).
+  // socket_stride_ is the flag-slot count each socket's shard occupies,
+  // rounded to line granularity so shards never share a line.
   bool sharded_;
   int sockets_;
   std::size_t socket_stride_;
-  // Packed like the paper's state[N] array: a writer's commit-time scan
-  // touches ~N/8 lines (it must fit HTM capacity), at the price that one
-  // reader's flag store invalidates the whole line of 8 flags — the
-  // trade-off the SNZI variant (one root word) removes. In sharded mode
-  // the slots are laid out socket-major with per-socket line padding (see
-  // state_slot) and the scan moves to socket_count_.
-  aligned_vector<htm::Shared<std::uint64_t>> state_;
-  // Sharded mode: per-socket reader counts, one line (kFlagsPerLine words)
-  // per socket, count in word 0. Empty in flat mode.
-  aligned_vector<htm::Shared<std::uint64_t>> socket_count_;
-  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_w_;
-  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> clock_r_;
-  std::vector<CacheLinePadded<std::atomic<int>>> waiting_for_;
-  std::vector<CacheLinePadded<std::atomic<std::uint64_t>>> waiting_ver_;
-  std::vector<CacheLinePadded<std::uint64_t>> reader_aborts_;
-  std::vector<CacheLinePadded<ScanStat>> scan_stats_;
-  std::unique_ptr<snzi::Snzi> snzi_;
-  htm::Shared<std::uint64_t> mode_;        ///< current tracking structure
-  htm::Shared<std::uint64_t> transition_;  ///< nonzero: writers check both
-  std::unique_ptr<DurationEma> read_ema_[kEmaSlots];
-  std::unique_ptr<DurationEma> write_ema_[kEmaSlots];
+  // --- BRAVO shell (the O(1)-word cold-lock state) ------------------------
+  std::uint32_t lock_id_ = 0;
+  htm::Shared<std::uint64_t> bias_;             ///< kBiasOff/On/Revoking
+  htm::Shared<std::uint64_t> plane_published_;  ///< 1 once plane_ is set (bravo)
+  std::atomic<Plane*> plane_{nullptr};
+  std::atomic<std::uint64_t> reader_streak_{0};
+  std::atomic<std::uint64_t> last_revoke_end_{0};
+  std::atomic<std::uint64_t> revoke_ema_hint_{0};
+  std::atomic<std::uint64_t> bias_reads_{0};
+  std::atomic<std::uint64_t> htm_reads_{0};
+  std::atomic<std::uint64_t> htm_writes_{0};
+  std::atomic<std::uint64_t> cold_reader_aborts_{0};
+  std::atomic<std::uint64_t> revocations_{0};
+  std::atomic<std::uint64_t> revoke_cycles_{0};
+  std::atomic<std::uint64_t> rebias_count_{0};
   /// Latest sampled reader-duration EMA, published by the sampler thread for
   /// the stalled-reader watchdog (which runs on *writer* threads).
   std::atomic<std::uint64_t> read_estimate_hint_{0};
-  locks::ModeRecorder modes_;
 };
 
 }  // namespace sprwl::core

@@ -41,6 +41,7 @@ class Shared;
 
 std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
                       std::size_t n);
+std::uint64_t line_or_plain(const Shared<std::uint64_t>* first, std::size_t n);
 
 template <class T>
 class Shared {
@@ -109,6 +110,8 @@ class Shared {
  private:
   friend std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
                                std::size_t n);
+  friend std::uint64_t line_or_plain(const Shared<std::uint64_t>* first,
+                                     std::size_t n);
 
   static std::uint64_t encode(T v) noexcept {
     std::uint64_t bits = 0;
@@ -184,6 +187,27 @@ inline std::uint64_t line_or(Engine& e, const Shared<std::uint64_t>* first,
   static_assert(sizeof(Shared<std::uint64_t>) == sizeof(std::uint64_t),
                 "Shared<uint64_t> must be exactly its cell");
   return e.tx_read_line_or(&first->cell_, n);
+}
+
+/// Plain (non-transactional) OR-summary of `n` consecutive cells sharing
+/// one 64-byte line (n <= 8) — the coherence-granular read the BRAVO
+/// revocation drain uses to skip empty reader-table lines in one load
+/// charge. Unlike line_or no read-set entry is created: the caller runs
+/// outside any transaction (revocation happens before the writer's HTM
+/// attempt), so a concurrently arriving reader is caught by the writer's
+/// in-transaction bias subscription, not by this scan (DESIGN.md §12).
+inline std::uint64_t line_or_plain(const Shared<std::uint64_t>* first,
+                                   std::size_t n) {
+  static_assert(sizeof(Shared<std::uint64_t>) == sizeof(std::uint64_t),
+                "Shared<uint64_t> must be exactly its cell");
+  Engine* e = Engine::current();
+  if (e != nullptr && e->tracks_owners()) e->plain_access(&first->cell_);
+  platform::advance(g_costs.load);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= first[i].cell_.load(std::memory_order_acquire);
+  }
+  return acc;
 }
 
 /// Full memory fence, charged to virtual time. The paper's readers issue

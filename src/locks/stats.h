@@ -170,6 +170,11 @@ class ModeRecorder {
     for (auto& slot : slots_) slot.value = LockStats{};
   }
 
+  /// Heap bytes held by the per-thread slots (per-lock footprint accounting).
+  std::size_t footprint_bytes() const noexcept {
+    return slots_.capacity() * sizeof(CacheLinePadded<LockStats>);
+  }
+
  private:
   LockStats& mine() { return slots_[static_cast<std::size_t>(platform::thread_id())].value; }
 

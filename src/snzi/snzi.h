@@ -57,10 +57,15 @@ class Snzi {
     int cores_per_socket = 0;
   };
 
+  /// Deepest supported tree. 16 levels = 32768 leaves, enough for any
+  /// max_threads the simulator models; auto-sizing callers (SpRWLock)
+  /// derive their level count from max_threads and clamp to this.
+  static constexpr int kMaxLevels = 16;
+
   Snzi() : Snzi(Config{}) {}
 
   explicit Snzi(Config cfg) {
-    assert(cfg.levels >= 1 && cfg.levels <= 8);
+    assert(cfg.levels >= 1 && cfg.levels <= kMaxLevels);
     std::size_t count = 0;
     for (int l = 0; l < cfg.levels; ++l) count += std::size_t{1} << l;
     nodes_ = std::vector<CacheLinePadded<htm::Shared<std::uint64_t>>>(count);
@@ -99,6 +104,12 @@ class Snzi {
   }
 
   std::size_t leaf_count() const noexcept { return leaves_; }
+
+  /// Heap bytes held by the tree (per-lock footprint accounting).
+  std::size_t footprint_bytes() const noexcept {
+    return sizeof(*this) +
+           nodes_.capacity() * sizeof(CacheLinePadded<htm::Shared<std::uint64_t>>);
+  }
 
   /// Leaf row index (0-based) that `slot` arrives at — the layout contract
   /// the socket-major tests pin. Departures use the same mapping, so a slot

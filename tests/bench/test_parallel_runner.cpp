@@ -41,6 +41,30 @@ TEST(Runner, EmitOnlyTasksInterleaveWithComputes) {
   EXPECT_EQ(order, "HrrrHr");
 }
 
+TEST(Runner, SubmitTimedDeliversWallTimeInSubmissionOrder) {
+  Runner runner(4);
+  std::vector<double> wall;
+  std::string order;
+  for (int i = 0; i < 6; ++i) {
+    runner.submit_timed(
+        [] {
+          volatile unsigned sink = 0;
+          for (unsigned j = 0; j < 50'000; ++j) sink = sink + j;
+        },
+        [&, i](double ms) {
+          order += static_cast<char>('a' + i);
+          wall.push_back(ms);
+        });
+  }
+  runner.drain();
+  EXPECT_EQ(order, "abcdef");
+  ASSERT_EQ(wall.size(), 6u);
+  for (const double ms : wall) {
+    EXPECT_GE(ms, 0.0);
+    EXPECT_LT(ms, 60'000.0) << "wall time should be milliseconds, not ns";
+  }
+}
+
 TEST(Runner, ComputeExceptionPropagatesAtDrain) {
   Runner runner(2);
   runner.submit([] { throw std::runtime_error("boom"); }, [] { FAIL(); });

@@ -159,6 +159,56 @@ TEST(CheckerLocks, ShardedBrokenScanCaughtWithDeterministicRepro) {
   std::remove(rep.artifact_path.c_str());
 }
 
+// The global-reader-bias acceptance bar: 2-thread bounded-exhaustive DFS
+// over the bravo variant (bias starts on; a fresh 8-slot shared table per
+// schedule) terminates with no violation — covering fast-path publishes
+// racing revocation drains and the re-bias CAS.
+TEST(CheckerLocks, AcceptanceDfsSpRWLBravoTwoThreads) {
+  Workload w;
+  w.threads = 2;
+  w.writers = 1;
+  ExploreOptions opt;
+  const ExploreReport rep = explore_dfs(make_runner("SpRWL-bravo", w), w, opt);
+  EXPECT_TRUE(rep.exhausted) << "DFS did not exhaust the bounded tree";
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_FALSE(rep.found_violation)
+      << to_string(rep.verdict.kind) << ": " << rep.verdict.detail;
+  ::testing::Test::RecordProperty(
+      "bravo_dfs_schedules", static_cast<int>(rep.schedules));
+}
+
+// Self-validation for the revocation drain: with a one-slot table and a
+// drain that skips the table's last slot, revocation waits for nobody — a
+// fast-path reader parked in slot 0 survives it and the writer commits
+// over the reader's snapshot. The checker must catch it, minimize it, and
+// round-trip the artifact exactly like the flat and sharded broken scans.
+TEST(CheckerLocks, BravoBrokenRevokeCaughtWithDeterministicRepro) {
+  const Workload w;
+  ExploreOptions opt;
+  opt.lock_name = "SpRWL-bravo-broken";
+  opt.artifact_dir = ::testing::TempDir();
+  opt.seed = 123;
+  const RunFn run = make_runner("SpRWL-bravo-broken", w);
+  const ExploreReport rep = explore_dfs(run, w, opt);
+
+  ASSERT_TRUE(rep.found_violation)
+      << "the checker missed the broken revocation drain";
+  EXPECT_EQ(rep.verdict.kind, Verdict::kTorn) << rep.verdict.detail;
+  ASSERT_FALSE(rep.repro.empty());
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+
+  ASSERT_FALSE(rep.artifact_path.empty());
+  ReproArtifact a;
+  ASSERT_TRUE(read_artifact(rep.artifact_path, &a)) << rep.artifact_path;
+  EXPECT_EQ(a.lock, "SpRWL-bravo-broken");
+  EXPECT_EQ(a.choices, rep.repro);
+  const Verdict from_file =
+      replay_trace(make_runner(a.lock, a.workload), a.choices);
+  EXPECT_EQ(from_file.kind, Verdict::kTorn) << from_file.detail;
+  std::remove(rep.artifact_path.c_str());
+}
+
 // PCT depth calibration: with calibration off the horizon is the static
 // heuristic; with it on, the measured median plus the livelock stall
 // allowance replaces it — deterministically for a fixed seed, and never

@@ -76,7 +76,8 @@ TEST(SpRWLSharded, ConstructorRejectsUndersizedTopology) {
 }
 
 // SNZI auto-sizing (snzi_levels = 0): the tree grows until the leaf row
-// holds roughly max_threads / 2 slots, capped at 8 levels (128 leaves).
+// holds roughly max_threads / 2 slots, capped only at the tree's own
+// kMaxLevels (past-256-thread cases live in test_bravo.cpp's regression).
 TEST(SpRWLSharded, SnziAutoSizeTracksMaxThreads) {
   const struct {
     int max_threads;
