@@ -112,6 +112,41 @@ bool parse_int_array(const std::string& s, const std::string& key,
   return true;
 }
 
+bool parse_bool(const std::string& s, const std::string& key, bool* out) {
+  std::size_t i = after_key(s, key);
+  if (i == std::string::npos) return false;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (s.compare(i, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool parse_u64_array(const std::string& s, const std::string& key,
+                     std::vector<std::uint64_t>* out) {
+  std::size_t i = after_key(s, key);
+  if (i == std::string::npos) return false;
+  while (i < s.size() && s[i] != '[') ++i;
+  const std::size_t close = s.find(']', i);
+  if (i >= s.size() || close == std::string::npos) return false;
+  out->clear();
+  ++i;
+  while (i < close) {
+    while (i < close && !std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t end = i;
+    while (end < close && std::isdigit(static_cast<unsigned char>(s[end])))
+      ++end;
+    if (end > i) out->push_back(std::stoull(s.substr(i, end - i)));
+    i = end + 1;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string write_artifact(const ReproArtifact& a, const std::string& dir) {
@@ -128,7 +163,15 @@ std::string write_artifact(const ReproArtifact& a, const std::string& dir) {
      << "    \"ops_per_thread\": " << a.workload.ops_per_thread << ",\n"
      << "    \"cells\": " << a.workload.cells << ",\n"
      << "    \"max_decisions\": " << a.workload.max_decisions << ",\n"
-     << "    \"no_progress_bound\": " << a.workload.no_progress_bound << "\n"
+     << "    \"no_progress_bound\": " << a.workload.no_progress_bound << ",\n"
+     << "    \"timed_reads\": " << (a.workload.timed_reads ? "true" : "false")
+     << ",\n"
+     << "    \"read_deadlines\": [";
+  for (std::size_t i = 0; i < a.workload.read_deadlines.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << a.workload.read_deadlines[i];
+  }
+  os << "]\n"
      << "  },\n"
      << "  \"violation\": \"" << escape(a.violation) << "\",\n"
      << "  \"choices\": [";
@@ -165,6 +208,10 @@ bool read_artifact(const std::string& path, ReproArtifact* out) {
   a.workload.max_decisions = static_cast<std::size_t>(md);
   if (!parse_int(s, "no_progress_bound", &a.workload.no_progress_bound))
     return false;
+  // Deadline fields are optional (absent in artifacts written before the
+  // timed workloads existed); defaults mean "untimed".
+  parse_bool(s, "timed_reads", &a.workload.timed_reads);
+  parse_u64_array(s, "read_deadlines", &a.workload.read_deadlines);
   if (!parse_string(s, "violation", &a.violation)) return false;
   if (!parse_int_array(s, "choices", &a.choices)) return false;
   *out = a;

@@ -24,6 +24,7 @@
 #include "fault/fault.h"
 #include "htm/engine.h"
 #include "htm/shared.h"
+#include "locks/deadline.h"
 #include "sim/schedule_policy.h"
 #include "sim/simulator.h"
 
@@ -43,6 +44,13 @@ struct Workload {
   /// misreading healthy MCS/phase-fair handoffs as livelock at 8+ threads.
   std::size_t max_decisions = 4000;
   int no_progress_bound = 0;
+  /// Deadline-aware reads: readers acquire via try_read_for instead of
+  /// read(), cycling through `read_deadlines` (budgets in cycles) by op
+  /// index. A timed-out read records nothing in the history — the
+  /// linearizability checker judges only sections that ran. Ignored for
+  /// locks without timed variants.
+  bool timed_reads = false;
+  std::vector<std::uint64_t> read_deadlines;
 };
 
 struct RunResult {
@@ -140,7 +148,7 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
           std::uint64_t v = 0;
           bool torn = false;
           const std::uint64_t invoke = ++clock;
-          lock.read(0, [&] {
+          const auto body = [&] {
             // Per-attempt reset: an aborted HTM attempt must not leak its
             // observations into the committed one.
             v = cells[0].v.load();
@@ -149,8 +157,27 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
             for (int c = 1; c < w.cells; ++c) {
               torn |= cells[static_cast<std::size_t>(c)].v.load() != v;
             }
-          });
-          res.history.push_back({tid, false, invoke, ++clock, v, torn});
+          };
+          bool acquired = true;
+          bool timed = false;
+          if constexpr (requires {
+                          lock.try_read_for(0, std::uint64_t{1}, [] {});
+                        }) {
+            if (w.timed_reads && !w.read_deadlines.empty()) {
+              timed = true;
+              const std::uint64_t budget =
+                  w.read_deadlines[static_cast<std::size_t>(i) %
+                                   w.read_deadlines.size()];
+              acquired = lock.try_read_for(0, budget, body) ==
+                         locks::AcquireResult::kAcquired;
+            }
+          }
+          if (!timed) lock.read(0, body);
+          // A timed-out read ran no section: it contributes nothing the
+          // linearizability checker could judge.
+          if (acquired) {
+            res.history.push_back({tid, false, invoke, ++clock, v, torn});
+          }
         }
       }
     });

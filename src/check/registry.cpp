@@ -54,7 +54,7 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
-          "SpRWL-sharded", "SpRWL-bravo",
+          "SpRWL-sharded", "SpRWL-bravo", "SpRWL-timeout",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
@@ -104,6 +104,40 @@ RunFn make_runner(const std::string& name, const Workload& w) {
       core::Config c = bravo_cfg(w, 1);
       c.reader_htm_first = false;
       c.broken_revoke_skip_last_slot = true;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-timeout") {
+    // Deadline-aware readers over the bravo fast path. Uninstrumented
+    // (no HTM-first) so the reader-table protocol is actually driven, and
+    // every timed read is an extra schedule decision point: the budgets mix
+    // an immediately expiring deadline (the cancellation unwind — occupy,
+    // expire, release — runs on every schedule) with a comfortable one (the
+    // acquired path runs too). DFS over this variant is the regression
+    // net for phantom-reader bugs in the unwind.
+    Workload tw = w;
+    tw.timed_reads = true;
+    tw.read_deadlines = {1, 400'000};
+    return bind(tw, [tw] {
+      core::Config c = bravo_cfg(tw, 8);
+      c.reader_htm_first = false;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-timeout-broken") {
+    // Cancellation-unwind self-validation: the timed bias read's timeout
+    // path skips the ReaderTable slot release, leaking the slot. The next
+    // writer's revocation drain waits on the ghost forever — caught as a
+    // livelock verdict. One slot + an immediately expiring budget make the
+    // leak unconditional. Accepted by make_runner only, never listed as
+    // healthy.
+    Workload tw = w;
+    tw.timed_reads = true;
+    tw.read_deadlines = {1};
+    return bind(tw, [tw] {
+      core::Config c = bravo_cfg(tw, 1);
+      c.reader_htm_first = false;
+      c.broken_timeout_skip_slot_release = true;
       return core::SpRWLock(c);
     });
   }

@@ -14,13 +14,17 @@ namespace sprwl::check {
 /// Production lock names, in display order: SpRWL (kFull), SpRWL-unins
 /// (uninstrumented readers), SpRWL-vsgl (versioned SGL), SpRWL-snzi,
 /// SpRWL-sharded (per-socket tracking), SpRWL-bravo (global reader bias),
+/// SpRWL-timeout (deadline-aware reads over the bravo fast path),
 /// TLE, RW-LE, RWL (POSIX-style), BRLock, PhaseFair, MCS-RW, PRWL.
 std::vector<std::string> checked_locks();
 
 /// The deliberately broken SpRWL variant (commit-time reader scan skips
 /// tid 0): accepted by make_runner but NOT in checked_locks(). The checker
 /// self-validation tests and `check_schedules --lock SpRWL-broken` use it
-/// to prove the pipeline catches a real atomicity bug.
+/// to prove the pipeline catches a real atomicity bug. The other
+/// make_runner-only broken variants follow the same convention:
+/// "SpRWL-sharded-broken", "SpRWL-bravo-broken", and
+/// "SpRWL-timeout-broken" (timeout unwind leaks its ReaderTable slot).
 inline const char* broken_lock_name() noexcept { return "SpRWL-broken"; }
 
 /// Builds a runner executing `w` over a fresh instance of the named lock

@@ -34,16 +34,33 @@ class LatencyHistogram {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
   }
 
-  /// Value at quantile q in [0,1]; upper bound of the containing bucket.
+  /// Value at quantile q in [0,1], interpolated linearly within the
+  /// containing sub-bucket (assuming a uniform spread of the bucket's
+  /// samples over its value range), then clamped to [min, max]. Returning
+  /// the bucket's upper bound instead systematically over-reports tails:
+  /// up to ~6% relative at p999 on log buckets.
   std::uint64_t quantile(double q) const noexcept {
     if (count_ == 0) return 0;
     if (q < 0) q = 0;
-    if (q > 1) q = 1;
-    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+    if (q >= 1) return max_;  // rank count-1 IS the max sample, exactly
+    const double rank = q * static_cast<double>(count_ - 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] == 0) continue;
+      const double before = static_cast<double>(seen);
       seen += buckets_[i];
-      if (seen > rank) return upper_bound_of(static_cast<int>(i));
+      if (static_cast<double>(seen) > rank) {
+        const std::uint64_t lo = lower_bound_of(static_cast<int>(i));
+        const std::uint64_t hi = upper_bound_of(static_cast<int>(i));
+        const double frac =
+            (rank - before) / static_cast<double>(buckets_[i]);
+        std::uint64_t v =
+            lo + static_cast<std::uint64_t>(
+                     frac * static_cast<double>(hi - lo) + 0.5);
+        if (v < min_) v = min_;
+        if (v > max_) v = max_;
+        return v;
+      }
     }
     return max_;
   }
@@ -76,6 +93,13 @@ class LatencyHistogram {
     const int sub = idx & (kSub - 1);
     if (exp == 0) return static_cast<std::uint64_t>(sub);
     return ((static_cast<std::uint64_t>(kSub) + sub + 1) << (exp)) - 1;
+  }
+
+  static std::uint64_t lower_bound_of(int idx) noexcept {
+    const int exp = idx >> kSubBits;
+    const int sub = idx & (kSub - 1);
+    if (exp == 0) return static_cast<std::uint64_t>(sub);
+    return (static_cast<std::uint64_t>(kSub) + sub) << exp;
   }
 
   std::array<std::uint64_t, static_cast<std::size_t>(kExpBuckets) * kSub> buckets_{};

@@ -33,6 +33,30 @@ class SpinMutex {
     return true;
   }
 
+  /// lock() with an absolute virtual-time deadline (~0 = none). Returns
+  /// false with the waiter count restored if the deadline passes before
+  /// the mutex is acquired.
+  bool try_lock_until(std::uint64_t deadline) {
+    if (try_lock()) return true;
+    if (deadline != ~std::uint64_t{0} && platform::now() >= deadline) {
+      return false;
+    }
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (deadline != ~std::uint64_t{0} && platform::now() >= deadline) {
+          waiters_.fetch_sub(1, std::memory_order_relaxed);
+          return false;
+        }
+        platform::pause();
+      }
+      if (!locked_.exchange(true, std::memory_order_acquire)) break;
+    }
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
+    charge_acquisition();
+    return true;
+  }
+
   void unlock() {
     platform::advance(g_costs.store);
     locked_.store(false, std::memory_order_release);

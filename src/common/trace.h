@@ -49,6 +49,10 @@ enum class Event : std::uint8_t {
   // Fault injection (src/fault)
   kFaultPreempt,       ///< fiber descheduled; arg = duration in cycles
   kFaultSyscall,       ///< modelled syscall fired at a checkpoint
+  // Deadline-aware acquisition (DESIGN.md §13)
+  kReadTimeout,        ///< timed read abandoned (all tracking unwound)
+  kWriteTimeout,       ///< timed write abandoned before entering its section
+  kBiasRevokeAbandoned,  ///< timed revocation drain expired; bias re-armed
 };
 
 const char* to_string(Event e) noexcept;
@@ -147,6 +151,9 @@ inline const char* to_string(Event e) noexcept {
     case Event::kBiasRebias: return "bias-rebias";
     case Event::kFaultPreempt: return "fault-preempt";
     case Event::kFaultSyscall: return "fault-syscall";
+    case Event::kReadTimeout: return "read-timeout";
+    case Event::kWriteTimeout: return "write-timeout";
+    case Event::kBiasRevokeAbandoned: return "bias-revoke-abandoned";
   }
   return "?";
 }

@@ -110,7 +110,15 @@ class ReaderTable {
   /// must catch (ISSUE 6): the drain ignores the table's last slot, so a
   /// fast-path reader parked there survives revocation and a writer can
   /// commit over it.
-  void wait_for_readers_of(std::uint32_t lock_id, bool skip_last_slot = false) {
+  ///
+  /// `deadline` is an absolute virtual time (~0 = none): the drain gives
+  /// up and returns false the moment it passes, leaving whatever slots it
+  /// already drained drained. The caller (SpRWLock::revoke_bias) must NOT
+  /// treat a false return as "no readers" — it re-arms the bias instead.
+  /// With the default deadline the charge sequence is identical to the
+  /// pre-timeout drain (the expiry check reads the clock for free).
+  bool wait_for_readers_of(std::uint32_t lock_id, bool skip_last_slot = false,
+                           std::uint64_t deadline = ~std::uint64_t{0}) {
     const std::uint64_t tag = tag_of(lock_id);
     const std::size_t limit = slots_.size() - (skip_last_slot ? 1 : 0);
     for (std::size_t base = 0; base < limit; base += kSlotsPerLine) {
@@ -118,9 +126,25 @@ class ReaderTable {
           limit - base < kSlotsPerLine ? limit - base : kSlotsPerLine;
       if (htm::line_or_plain(&slots_[base], count) == 0) continue;
       for (std::size_t s = base; s < base + count; ++s) {
-        while (slots_[s].load() == tag) platform::pause();
+        while (slots_[s].load() == tag) {
+          if (deadline != ~std::uint64_t{0} && platform::now() >= deadline) {
+            return false;
+          }
+          platform::pause();
+        }
       }
     }
+    return true;
+  }
+
+  /// Raw view: true iff no slot holds any lock's tag (chaos tests assert
+  /// this at quiesce — a slot leaked by an abandoned timed acquisition
+  /// would wedge every later revocation drain).
+  bool all_slots_empty_raw() const noexcept {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (slots_[s].raw_load() != 0) return false;
+    }
+    return true;
   }
 
   /// Raw occupant of a slot (tests; 0 = empty).

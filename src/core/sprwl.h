@@ -66,6 +66,7 @@
 #include "fault/fault.h"
 #include "htm/engine.h"
 #include "htm/shared.h"
+#include "locks/deadline.h"
 #include "locks/sgl.h"
 #include "locks/stats.h"
 #include "sim/topology.h"
@@ -189,6 +190,11 @@ struct Config {
   /// global table's last slot, so a fast-path reader parked there survives
   /// revocation and a writer can commit over it. Never set in production.
   bool broken_revoke_skip_last_slot = false;
+  /// Checker self-validation ONLY: a timed fast-path reader that expires
+  /// after occupying its bravo slot "forgets" to release it — the leaked
+  /// slot makes every later revocation drain spin forever, which the
+  /// checker must report as livelock. Never set in production.
+  bool broken_timeout_skip_slot_release = false;
 
   static Config variant(SchedulingVariant v, int max_threads) {
     Config c;
@@ -288,15 +294,52 @@ class SpRWLock {
   /// Executes f as a read-only critical section identified by cs_id.
   template <class F>
   void read(int cs_id, F&& f) {
+    read_impl(cs_id, locks::kNoDeadline, std::forward<F>(f));
+  }
+
+  /// read() bounded by a relative virtual-time budget (cycles). Returns
+  /// kTimeout — with every advertisement unwound (flag/SNZI/slot/waiting
+  /// version) — if the lock cannot be entered before the deadline. A zero
+  /// or clock-wrapping budget throws std::invalid_argument at entry.
+  template <class F>
+  locks::AcquireResult try_read_for(int cs_id, std::uint64_t budget_cycles,
+                                    F&& f) {
+    return read_impl(cs_id, locks::checked_deadline(budget_cycles),
+                     std::forward<F>(f));
+  }
+
+  /// write() bounded by a relative virtual-time budget (cycles). Once the
+  /// section body has committed (HTM) or the SGL is held (point of no
+  /// return), the operation completes even if the deadline passes
+  /// mid-section; kTimeout is only returned from pre-entry waits, with the
+  /// writer flag cleared and any partial bias revocation re-armed.
+  template <class F>
+  locks::AcquireResult try_write_for(int cs_id, std::uint64_t budget_cycles,
+                                     F&& f) {
+    return write_impl(cs_id, locks::checked_deadline(budget_cycles),
+                      std::forward<F>(f));
+  }
+
+ private:
+  template <class F>
+  locks::AcquireResult read_impl(int cs_id, std::uint64_t deadline, F&& f) {
     const int tid = checked_tid();
 
-    if (cfg_.bravo_bias && try_bias_read(tid, f)) return;
+    if (cfg_.bravo_bias) {
+      switch (try_bias_read(tid, deadline, f)) {
+        case BiasRead::kDone: return locks::AcquireResult::kAcquired;
+        case BiasRead::kTimeout:
+          trace::emit(trace::Event::kReadTimeout);
+          return locks::AcquireResult::kTimeout;
+        case BiasRead::kSlow: break;
+      }
+    }
 
     if (cfg_.reader_htm_first && try_reader_htm(f)) {
       trace::emit(trace::Event::kReadHtmCommit);
       htm_reads_.fetch_add(1, std::memory_order_relaxed);
       if (cfg_.bravo_bias) maybe_rebias();
-      return;
+      return locks::AcquireResult::kAcquired;
     }
 
     // Uninstrumented path.
@@ -305,7 +348,18 @@ class SpRWLock {
     std::uint64_t pass_below = 0;
     std::uint64_t track_mode = kModeFlags;
     for (;;) {
-      if (cfg_.reader_sync && !have_pass) readers_wait(p, tid);
+      // Between iterations nothing is advertised, so expiry needs no
+      // unwind here (waiting_ver_ is cleared before each defer exit).
+      if (locks::deadline_expired(deadline)) {
+        trace::emit(trace::Event::kReadTimeout);
+        return locks::AcquireResult::kTimeout;
+      }
+      if (cfg_.reader_sync && !have_pass) {
+        if (!readers_wait(p, tid, deadline)) {
+          trace::emit(trace::Event::kReadTimeout);
+          return locks::AcquireResult::kTimeout;
+        }
+      }
       if (cfg_.writer_sync) {
         p.clock_r_[static_cast<std::size_t>(tid)]->store(
             platform::now() + read_estimate(p, cs_id),
@@ -325,17 +379,36 @@ class SpRWLock {
         const std::uint64_t v0 = gl_.version();
         p.waiting_ver_[static_cast<std::size_t>(tid)]->store(
             (v0 << 1) | 1, std::memory_order_seq_cst);
-        while (gl_.is_locked() && gl_.version() <= v0) platform::pause();
+        while (gl_.is_locked() && gl_.version() <= v0) {
+          if (locks::deadline_expired(deadline)) {
+            // Retract the published waiting version before abandoning or a
+            // versioned-SGL writer's drain spins on a phantom waiter.
+            p.waiting_ver_[static_cast<std::size_t>(tid)]->store(
+                0, std::memory_order_release);
+            trace::emit(trace::Event::kReadTimeout);
+            return locks::AcquireResult::kTimeout;
+          }
+          platform::pause();
+        }
         have_pass = true;
         pass_below = v0;
       } else {
-        while (gl_.is_locked()) platform::pause();
+        while (gl_.is_locked()) {
+          if (locks::deadline_expired(deadline)) {
+            trace::emit(trace::Event::kReadTimeout);
+            return locks::AcquireResult::kTimeout;
+          }
+          platform::pause();
+        }
       }
     }
 
     // Dangerous window: the flag is raised but the section has not run yet.
     // A preemption injected here is what the stalled-reader watchdog and
-    // the chaos harness exercise.
+    // the chaos harness exercise. The flag is the point of no return for a
+    // timed reader: it is advertised, so the section runs even if the
+    // deadline passes during the preemption (unwinding here would buy
+    // nothing — the cleanup cost equals the section's own release).
     fault::checkpoint(fault::InjectPoint::kReadEnter, this);
     trace::emit(trace::Event::kReadUninsEnter);
     const std::uint64_t cs_start = platform::now();
@@ -356,11 +429,20 @@ class SpRWLock {
     }
     p.modes_.record_read(locks::CommitMode::kUnins);
     if (cfg_.bravo_bias) maybe_rebias();
+    return locks::AcquireResult::kAcquired;
   }
+
+ public:
 
   /// Executes f as an update critical section identified by cs_id.
   template <class F>
   void write(int cs_id, F&& f) {
+    write_impl(cs_id, locks::kNoDeadline, std::forward<F>(f));
+  }
+
+ private:
+  template <class F>
+  locks::AcquireResult write_impl(int cs_id, std::uint64_t deadline, F&& f) {
     const int tid = checked_tid();
     htm::Engine* engine = htm::Engine::current();
     assert(engine != nullptr && "SpRWL requires an installed htm::Engine");
@@ -391,16 +473,24 @@ class SpRWLock {
 
     // Escalation to the (versioned) SGL; `why` records which degradation
     // path fired so chaos runs can tell retry exhaustion from a stalled
-    // reader or an exhausted budget.
-    const auto escalate = [&](locks::Escalation why, int attempts) {
+    // reader or an exhausted budget. Returns false if the deadline expired
+    // before the SGL was acquired (the fallback itself is then the last
+    // wait a timed writer can abandon — once the SGL is held the write
+    // runs to completion).
+    const auto escalate = [&](locks::Escalation why, int attempts) -> bool {
       plane().modes_.record_escalation(why);
       trace::emit(why == locks::Escalation::kStalledReader
                       ? trace::Event::kStalledReaderEscalate
                       : trace::Event::kWriteSglEnter,
                   static_cast<std::uint32_t>(attempts));
-      fallback_write(cs_id, tid, f);
+      if (!fallback_write(cs_id, tid, deadline, f)) return false;
       trace::emit(trace::Event::kWriteSglExit);
       plane().modes_.record_write(locks::CommitMode::kGl);
+      return true;
+    };
+    const auto timed_out = [&]() -> locks::AcquireResult {
+      trace::emit(trace::Event::kWriteTimeout);
+      return locks::AcquireResult::kTimeout;  // clear_flag unwinds the flag
     };
 
     int attempts = 0;
@@ -410,11 +500,16 @@ class SpRWLock {
     bool retrying = false;
     bool stalled = false;
     for (;;) {
-      while (gl_.is_locked()) platform::pause();
+      if (locks::deadline_expired(deadline)) return timed_out();
+      while (gl_.is_locked()) {
+        if (locks::deadline_expired(deadline)) return timed_out();
+        platform::pause();
+      }
       // Revoke the bias before every attempt: the drain guarantees no
       // fast-path reader is live, and the in-transaction bias subscription
       // below catches any re-bias that slips in after it (DESIGN.md §12).
-      if (cfg_.bravo_bias) revoke_bias();
+      // A drain abandoned on deadline re-arms the bias (see revoke_bias).
+      if (cfg_.bravo_bias && !revoke_bias(deadline)) return timed_out();
       ++attempts;
       const std::uint64_t attempt_start = platform::now();
       if (!retrying) {
@@ -457,7 +552,9 @@ class SpRWLock {
       }
       if (status.cause == htm::AbortCause::kCapacity) {
         // Retrying cannot help a section that does not fit; fall back now.
-        escalate(locks::Escalation::kCapacity, attempts);
+        if (!escalate(locks::Escalation::kCapacity, attempts)) {
+          return timed_out();
+        }
         break;
       }
       if (lock_busy && cfg_.lemming_avoidance) {
@@ -473,13 +570,17 @@ class SpRWLock {
         continue;
       }
       if (attempts >= cfg_.max_retries) {
-        escalate(locks::Escalation::kRetryExhausted, attempts);
+        if (!escalate(locks::Escalation::kRetryExhausted, attempts)) {
+          return timed_out();
+        }
         break;
       }
       const std::uint64_t now = platform::now();
       if (cfg_.writer_retry_budget_cycles != 0 &&
           now - retry_start > cfg_.writer_retry_budget_cycles) {
-        escalate(locks::Escalation::kBudgetExhausted, attempts);
+        if (!escalate(locks::Escalation::kBudgetExhausted, attempts)) {
+          return timed_out();
+        }
         break;
       }
       if (reader_abort) {
@@ -492,12 +593,14 @@ class SpRWLock {
           // The reader blocking us has been active far longer than readers
           // ever run: presume it descheduled with its flag raised and stop
           // burning transactions against it.
-          escalate(locks::Escalation::kStalledReader, attempts);
+          if (!escalate(locks::Escalation::kStalledReader, attempts)) {
+            return timed_out();
+          }
           break;
         }
         if (cfg_.writer_sync) {
           trace::emit(trace::Event::kWriterWait);
-          writer_wait(cs_id, tid);
+          writer_wait(cs_id, tid, deadline);
         }
       } else {
         stalled = false;
@@ -510,12 +613,17 @@ class SpRWLock {
                                                   cfg_.backoff_max_cycles);
           trace::emit(trace::Event::kWriterBackoff,
                       static_cast<std::uint32_t>(backoff));
-          platform::wait_until(now + backoff);
+          const std::uint64_t target =
+              locks::cap_wait(now + backoff, deadline);
+          if (target > platform::now()) platform::wait_until(target);
         }
       }
     }
     fault::checkpoint(fault::InjectPoint::kWriteExit, this);
+    return locks::AcquireResult::kAcquired;
   }
+
+ public:
 
   locks::LockStats stats() const {
     locks::LockStats s;
@@ -571,6 +679,25 @@ class SpRWLock {
   /// Dense id in the shared reader table (bravo only; 0 otherwise).
   std::uint32_t lock_id() const noexcept { return lock_id_; }
   bool has_plane() const noexcept { return plane_peek() != nullptr; }
+
+  /// Raw (uncharged) view of every per-lock reader-tracking structure at
+  /// quiesce: no flag raised, no socket count pending, no SNZI arrival
+  /// without its depart. The cancellation-unwind chaos tests assert this
+  /// after timed readers raced preemptions and abort storms — a phantom
+  /// reader left by an abandoned acquisition shows up here. Bravo table
+  /// slots are global state; assert those through ReaderTable directly.
+  bool tracking_quiescent() const {
+    const Plane* p = plane_peek();
+    if (p == nullptr) return true;
+    if (p->snzi_ != nullptr && p->snzi_->root_count_raw() != 0) return false;
+    for (const auto& s : p->state_) {
+      if (s.raw_load() == kReader) return false;
+    }
+    for (const auto& c : p->socket_count_) {
+      if (c.raw_load() != 0) return false;
+    }
+    return true;
+  }
 
   /// Bytes this lock owns: the O(1)-word shell plus, if some operation
   /// forced it, the lazily allocated tracking plane. The shared bravo
@@ -828,16 +955,19 @@ class SpRWLock {
 
   // --- BRAVO fast path / revocation / re-bias (DESIGN.md §12) -------------
 
+  /// Outcome of the biased fast path: section ran, deadline expired (slot
+  /// already unwound), or "take the slow path" (bias off, slot collision,
+  /// or a concurrent revocation/SGL writer won the race).
+  enum class BiasRead { kDone, kTimeout, kSlow };
+
   /// Biased reader fast path: publish (lock, tid) in the global table and
-  /// run the section without ever touching the per-lock plane. False means
-  /// "take the slow path" — bias off, slot collision, or a concurrent
-  /// revocation/SGL writer won the race.
+  /// run the section without ever touching the per-lock plane.
   template <class F>
-  bool try_bias_read(int tid, F&& f) {
-    if (bias_.load() != kBiasOn) return false;
+  BiasRead try_bias_read(int tid, std::uint64_t deadline, F&& f) {
+    if (bias_.load() != kBiasOn) return BiasRead::kSlow;
     bravo::ReaderTable& table = *cfg_.bravo_table;
     const std::size_t slot = table.slot_of(lock_id_, tid);
-    if (!table.occupy(slot, lock_id_)) return false;  // collision
+    if (!table.occupy(slot, lock_id_)) return BiasRead::kSlow;  // collision
     htm::memory_fence();  // publish the slot before validating bias / SGL
     if (bias_.load() != kBiasOn || gl_.is_locked()) {
       // Dekker with the writer (publish-slot/check-bias vs
@@ -845,9 +975,17 @@ class SpRWLock {
       // writer's drain may already have passed our line, so back out and
       // register where the writer is looking.
       table.release(slot);
-      return false;
+      return BiasRead::kSlow;
     }
     fault::checkpoint(fault::InjectPoint::kReadEnter, this);
+    if (locks::deadline_expired(deadline)) {
+      // Expired while parked at the checkpoint (the chaos preemption
+      // window). The slot is published, so the unwind MUST release it — a
+      // leaked slot wedges every later revocation drain. The broken flag
+      // skips exactly this release for the checker's self-validation.
+      if (!cfg_.broken_timeout_skip_slot_release) table.release(slot);
+      return BiasRead::kTimeout;
+    }
     trace::emit(trace::Event::kReadBiasEnter);
     {
       ScopeExit release([&] {
@@ -859,23 +997,31 @@ class SpRWLock {
       fault::checkpoint(fault::InjectPoint::kReadExit, this);
     }
     bias_reads_.fetch_add(1, std::memory_order_relaxed);
-    return true;
+    return BiasRead::kDone;
   }
 
   /// Writer-side revocation. Three-state protocol: only the writer whose
   /// CAS moves kBiasOn → kBiasRevoking drains the table; every other
   /// writer arriving mid-revocation waits for the kBiasOff publish, so no
   /// writer can enter its section while a fast-path reader might still be
-  /// live (the two-writer revocation race).
-  void revoke_bias() {
+  /// live (the two-writer revocation race). Returns false iff the deadline
+  /// expired first; a drain abandoned mid-way re-arms the bias
+  /// (kBiasRevoking → kBiasOn, NOT kBiasOff): undrained fast-path readers
+  /// may still be live, so publishing kBiasOff would let the next writer
+  /// commit over them. The next writer simply revokes from scratch.
+  bool revoke_bias(std::uint64_t deadline = locks::kNoDeadline) {
     for (;;) {
       const std::uint64_t b = bias_.load();
-      if (b == kBiasOff) return;
+      if (b == kBiasOff) return true;
       if (b == kBiasOn && bias_.cas(kBiasOn, kBiasRevoking)) {
         htm::memory_fence();  // order the state change before the scan
         const std::uint64_t t0 = platform::now();
-        cfg_.bravo_table->wait_for_readers_of(
-            lock_id_, cfg_.broken_revoke_skip_last_slot);
+        if (!cfg_.bravo_table->wait_for_readers_of(
+                lock_id_, cfg_.broken_revoke_skip_last_slot, deadline)) {
+          bias_.store(kBiasOn);  // re-arm: drain incomplete
+          trace::emit(trace::Event::kBiasRevokeAbandoned);
+          return false;
+        }
         const std::uint64_t dur = platform::now() - t0;
         bias_.store(kBiasOff);  // publish: other writers may proceed
         trace::emit(trace::Event::kBiasRevoke,
@@ -887,8 +1033,9 @@ class SpRWLock {
         revoke_ema_hint_.store(prev == 0 ? dur : prev - prev / 8 + dur / 8,
                                std::memory_order_relaxed);
         last_revoke_end_.store(platform::now(), std::memory_order_relaxed);
-        return;
+        return true;
       }
+      if (locks::deadline_expired(deadline)) return false;
       platform::pause();  // another writer is draining; wait for kBiasOff
     }
   }
@@ -1102,8 +1249,11 @@ class SpRWLock {
   }
 
   /// Alg. 2 Readers_Wait: wait for the active writer expected to end last,
-  /// or join a reader that is already waiting for one.
-  void readers_wait(Plane& p, int tid) {
+  /// or join a reader that is already waiting for one. Returns false iff
+  /// the deadline expired mid-wait — with waiting_for_ already reset, so
+  /// readers that joined us are unaffected (they copied the *writer's* tid
+  /// at join time and wait on that writer, not on us).
+  bool readers_wait(Plane& p, int tid, std::uint64_t deadline) {
     int wait_for = -1;
     bool joined = false;
     std::uint64_t max_end = 0;
@@ -1125,24 +1275,35 @@ class SpRWLock {
         }
       }
     }
-    if (wait_for == -1) return;
+    if (wait_for == -1) return true;
     trace::emit(joined ? trace::Event::kReaderJoin : trace::Event::kReaderWait,
                 static_cast<std::uint32_t>(wait_for));
     const std::size_t me = static_cast<std::size_t>(tid);
     p.waiting_for_[me]->store(wait_for, std::memory_order_release);
     // Timed wait up to the writer's expected end (§3.4), then poll.
-    const std::uint64_t until =
+    const std::uint64_t until = locks::cap_wait(
         p.clock_w_[static_cast<std::size_t>(wait_for)]->load(
-            std::memory_order_relaxed);
+            std::memory_order_relaxed),
+        deadline);
     if (until > platform::now()) platform::wait_until(until);
-    while (state_raw(p, wait_for) == kWriter) platform::pause();
+    while (state_raw(p, wait_for) == kWriter) {
+      if (locks::deadline_expired(deadline)) {
+        p.waiting_for_[me]->store(-1, std::memory_order_release);
+        return false;
+      }
+      platform::pause();
+    }
     p.waiting_for_[me]->store(-1, std::memory_order_release);
+    return true;
   }
 
   /// Alg. 3 writer_wait: delay the retry so the write is expected to end δ
   /// cycles after the last active reader. Without a plane there is no
   /// slow-path reader to wait for (bias readers carry no end-time clock).
-  void writer_wait(int cs_id, int tid) {
+  /// The wait target is capped at the deadline; the caller's loop-top
+  /// expiry check turns the truncated wait into a timeout.
+  void writer_wait(int cs_id, int tid,
+                   std::uint64_t deadline = locks::kNoDeadline) {
     Plane* pp = plane_peek();
     if (pp == nullptr) return;
     Plane& p = *pp;
@@ -1160,8 +1321,9 @@ class SpRWLock {
     const std::uint64_t dur = write_estimate(p, cs_id);
     const std::uint64_t lead =
         dur - static_cast<std::uint64_t>(static_cast<double>(dur) * cfg_.delta_fraction);
-    const std::uint64_t target =
-        last_reader_end > lead ? last_reader_end - lead : last_reader_end;
+    const std::uint64_t target = locks::cap_wait(
+        last_reader_end > lead ? last_reader_end - lead : last_reader_end,
+        deadline);
     if (target > platform::now()) platform::wait_until(target);
   }
 
@@ -1171,9 +1333,15 @@ class SpRWLock {
     return p.state_[state_slot(t)].load();
   }
 
+  /// Returns false iff the deadline expired before the SGL was acquired.
+  /// Acquiring the SGL is the point of no return: every wait below it
+  /// (bias drain, versioned waiter drain, reader drain) terminates because
+  /// readers observing the busy SGL defer, so the write always completes
+  /// once the lock is held — a timed writer never abandons a partially
+  /// drained SGL acquisition.
   template <class F>
-  void fallback_write(int cs_id, int tid, F&& f) {
-    gl_.lock();
+  bool fallback_write(int cs_id, int tid, std::uint64_t deadline, F&& f) {
+    if (!gl_.lock_until(deadline)) return false;
     // Revoke *under* the SGL: a fast-path reader validates the SGL after
     // publishing its slot, so any reader that slipped past the lock is in
     // the table and this drain waits it out; later readers see the busy
@@ -1205,6 +1373,7 @@ class SpRWLock {
         pp->write_ema_[ema_slot(cs_id)]->record(platform::now() - start);
       }
     }
+    return true;
   }
 
   /// Alg. 1 wait_for_readers: executed while holding the SGL; readers that

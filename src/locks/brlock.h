@@ -15,6 +15,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "common/spin_mutex.h"
+#include "locks/deadline.h"
 #include "locks/stats.h"
 
 namespace sprwl::locks {
@@ -53,6 +54,54 @@ class BRLock {
       platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  /// Deadline-bounded read: one timed mutex acquisition, nothing to unwind.
+  template <class F>
+  AcquireResult try_read_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                             F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    auto& mine = *per_thread_[static_cast<std::size_t>(platform::thread_id())];
+    if (!mine.try_lock_until(deadline)) return AcquireResult::kTimeout;
+    platform::sched_point(SchedKind::kReadEnter, this);
+    {
+      ScopeExit release([&] { mine.unlock(); });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
+  }
+
+  /// Deadline-bounded write: the O(threads) acquisition sweep can expire
+  /// mid-way, in which case the already-held prefix is released in reverse
+  /// (same order as the normal exit) along with the global mutex — a
+  /// half-swept writer must leave no reader mutex held.
+  template <class F>
+  AcquireResult try_write_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                              F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    if (!global_.try_lock_until(deadline)) return AcquireResult::kTimeout;
+    for (std::size_t i = 0; i < per_thread_.size(); ++i) {
+      if (!per_thread_[i]->try_lock_until(deadline)) {
+        while (i > 0) per_thread_[--i]->unlock();
+        global_.unlock();
+        return AcquireResult::kTimeout;
+      }
+    }
+    platform::sched_point(SchedKind::kWriteEnter, this);
+    {
+      ScopeExit release([&] {
+        for (auto it = per_thread_.rbegin(); it != per_thread_.rend(); ++it) {
+          (*it)->unlock();
+        }
+        global_.unlock();
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
   }
 
   LockStats stats() const { return modes_.snapshot(); }

@@ -20,6 +20,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "common/spin_mutex.h"
+#include "locks/deadline.h"
 #include "locks/stats.h"
 
 namespace sprwl::locks {
@@ -77,6 +78,83 @@ class PassiveRWLock {
       platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  /// Deadline-bounded read: a timeout can only fire while the slot is
+  /// inactive (before the publish, or after the retreat already cleared
+  /// it), so the abandoned acquisition leaves no stamped slot for a
+  /// writer's consensus drain to wait on.
+  template <class F>
+  AcquireResult try_read_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                             F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    auto& slot = *slots_[static_cast<std::size_t>(platform::thread_id())];
+    for (;;) {
+      if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+      const std::uint64_t v = version_.load(std::memory_order_acquire);
+      platform::advance(g_costs.store + g_costs.fence);
+      slot.store(make_active(v), std::memory_order_seq_cst);
+      if (version_.load(std::memory_order_seq_cst) == v &&
+          !writer_present_.load(std::memory_order_seq_cst)) {
+        break;
+      }
+      // A writer moved in: retreat and wait passively.
+      slot.store(kInactive, std::memory_order_release);
+      while (writer_present_.load(std::memory_order_acquire)) {
+        if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+        platform::pause();
+      }
+    }
+    platform::sched_point(SchedKind::kReadEnter, this);
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.store);
+        slot.store(kInactive, std::memory_order_release);
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
+  }
+
+  /// Deadline-bounded write: the consensus drain (a reader parked in its
+  /// section stalls it indefinitely) is the abandonable wait. The unwind
+  /// clears writer_present_ and releases the mutex; the version bump
+  /// stays, which is harmless — readers only compare their own stamp
+  /// against the current version, never against a count.
+  template <class F>
+  AcquireResult try_write_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                              F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    if (!mutex_.try_lock_until(deadline)) return AcquireResult::kTimeout;
+    platform::advance(g_costs.store + g_costs.fence);
+    writer_present_.store(true, std::memory_order_seq_cst);
+    version_.fetch_add(1, std::memory_order_seq_cst);
+    // Consensus: wait until no reader from an older version is active.
+    for (auto& s : slots_) {
+      while (s->load(std::memory_order_acquire) != kInactive) {
+        if (deadline_expired(deadline)) {
+          platform::advance(g_costs.store);
+          writer_present_.store(false, std::memory_order_release);
+          mutex_.unlock();
+          return AcquireResult::kTimeout;
+        }
+        platform::pause();
+      }
+    }
+    platform::sched_point(SchedKind::kWriteEnter, this);
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.store);
+        writer_present_.store(false, std::memory_order_release);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
   }
 
   LockStats stats() const { return modes_.snapshot(); }

@@ -17,6 +17,7 @@
 #include "common/costs.h"
 #include "common/platform.h"
 #include "common/scope_exit.h"
+#include "locks/deadline.h"
 #include "locks/stats.h"
 
 namespace sprwl::locks {
@@ -68,6 +69,107 @@ class PhaseFairRWLock {
       platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  /// Deadline-bounded read. The ticket protocol cannot tolerate a reader
+  /// that registered in rin and then vanishes: a writer snapshots rin's
+  /// reader count at entry and spins until rout catches up, so a timed
+  /// reader that bumped rout without running its section could push rout
+  /// PAST a concurrent writer's snapshot and wedge it forever. Timed
+  /// readers therefore never queue behind a writer — they CAS into rin
+  /// only while no writer is present, which makes entry all-or-nothing:
+  /// either the CAS lands (the reader is a fully ordinary reader) or
+  /// nothing was published and the timeout needs no unwind. The cost is
+  /// that a timed read gives up phase-fairness (it can time out during a
+  /// writer phase it would have been admitted after), which is exactly the
+  /// deadline semantics asked for.
+  template <class F>
+  AcquireResult try_read_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                             F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    for (;;) {
+      std::uint32_t cur = rin_.load(std::memory_order_acquire);
+      if ((cur & kWmask) != 0) {
+        if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+        platform::pause();
+        continue;
+      }
+      platform::advance(g_costs.cas);
+      if (rin_.compare_exchange_strong(cur, cur + kReader,
+                                       std::memory_order_acquire)) {
+        break;
+      }
+      if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+    }
+    platform::sched_point(SchedKind::kReadEnter, this);
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.cas);
+        rout_.fetch_add(kReader, std::memory_order_release);
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
+  }
+
+  /// Deadline-bounded write. A queued ticket cannot be abandoned (the
+  /// baton chain win/wout would stall on the hole), so a timed writer
+  /// claims a ticket only when it would become the active writer at once
+  /// (win == wout). Once active it may still abandon during the reader
+  /// drain: it retracts its presence bits from rin (releasing readers
+  /// spinning on this phase) and passes the baton with wout++, exactly
+  /// the release sequence of a writer that never entered its section.
+  /// rout is untouched — the still-draining readers will bump it, and the
+  /// next writer's own rin snapshot accounts for them.
+  template <class F>
+  AcquireResult try_write_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                              F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    std::uint32_t ticket;
+    for (;;) {
+      std::uint32_t cur = win_.load(std::memory_order_acquire);
+      if (wout_.load(std::memory_order_acquire) != cur) {
+        if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+        platform::pause();
+        continue;
+      }
+      platform::advance(g_costs.cas);
+      if (win_.compare_exchange_strong(cur, cur + 1,
+                                       std::memory_order_acquire)) {
+        ticket = cur;
+        break;
+      }
+      if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+    }
+    const std::uint32_t w = kPres | (ticket & kPhid);
+    platform::advance(g_costs.cas);
+    const std::uint32_t entered =
+        rin_.fetch_add(w, std::memory_order_acquire) & ~kWmask;
+    while (rout_.load(std::memory_order_acquire) != entered) {
+      if (deadline_expired(deadline)) {
+        platform::advance(g_costs.cas);
+        rin_.fetch_sub(w, std::memory_order_release);
+        platform::advance(g_costs.cas);
+        wout_.fetch_add(1, std::memory_order_release);
+        return AcquireResult::kTimeout;
+      }
+      platform::pause();
+    }
+    platform::sched_point(SchedKind::kWriteEnter, this);
+    {
+      ScopeExit release([&] {
+        platform::advance(g_costs.cas);
+        rin_.fetch_sub(w, std::memory_order_release);  // open the reader phase
+        platform::advance(g_costs.cas);
+        wout_.fetch_add(1, std::memory_order_release);  // admit the next writer
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
   }
 
   LockStats stats() const { return modes_.snapshot(); }

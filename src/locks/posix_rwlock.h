@@ -18,6 +18,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "common/spin_mutex.h"
+#include "locks/deadline.h"
 #include "locks/stats.h"
 
 namespace sprwl::locks {
@@ -89,6 +90,94 @@ class PosixRWLock {
       platform::sched_point(SchedKind::kWriteExit, this);
     }
     modes_.record_write(CommitMode::kPessimistic);
+  }
+
+  /// Deadline-bounded read: nothing is published until the reader count is
+  /// incremented under the mutex, so a pre-entry timeout needs no unwind.
+  template <class F>
+  AcquireResult try_read_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                             F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    for (;;) {
+      while (writer_active_.load(std::memory_order_relaxed) ||
+             writers_waiting_.load(std::memory_order_relaxed) > 0) {
+        if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+        platform::pause();
+      }
+      if (!mutex_.try_lock_until(deadline)) return AcquireResult::kTimeout;
+      if (!writer_active_.load(std::memory_order_relaxed) &&
+          writers_waiting_.load(std::memory_order_relaxed) == 0) {
+        readers_.fetch_add(1, std::memory_order_relaxed);
+        mutex_.unlock();
+        break;
+      }
+      mutex_.unlock();
+      if (deadline_expired(deadline)) return AcquireResult::kTimeout;
+      platform::pause();
+    }
+    platform::sched_point(SchedKind::kReadEnter, this);
+    {
+      ScopeExit release([&] {
+        mutex_.lock();
+        readers_.fetch_sub(1, std::memory_order_relaxed);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kReadExit, this);
+    }
+    modes_.record_read(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
+  }
+
+  /// Deadline-bounded write. The waiting-writer count is published before
+  /// the drain (it is what blocks new readers — writer preference), so the
+  /// timeout unwind MUST decrement it: a leaked waiting count would turn
+  /// away every future reader forever. The unwind's mutex acquisition is
+  /// deliberately untimed — it only waits out transient holders, and the
+  /// invariant restore cannot be abandoned.
+  template <class F>
+  AcquireResult try_write_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                              F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    if (!mutex_.try_lock_until(deadline)) return AcquireResult::kTimeout;
+    writers_waiting_.fetch_add(1, std::memory_order_relaxed);
+    mutex_.unlock();
+    const auto abandon = [&]() -> AcquireResult {
+      mutex_.lock();
+      writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+      mutex_.unlock();
+      return AcquireResult::kTimeout;
+    };
+    for (;;) {
+      while (writer_active_.load(std::memory_order_relaxed) ||
+             readers_.load(std::memory_order_relaxed) > 0) {
+        if (deadline_expired(deadline)) return abandon();
+        platform::pause();
+      }
+      mutex_.lock();
+      if (!writer_active_.load(std::memory_order_relaxed) &&
+          readers_.load(std::memory_order_relaxed) == 0) {
+        writer_active_.store(true, std::memory_order_relaxed);
+        writers_waiting_.fetch_sub(1, std::memory_order_relaxed);
+        mutex_.unlock();
+        break;
+      }
+      mutex_.unlock();
+      if (deadline_expired(deadline)) return abandon();
+      platform::pause();
+    }
+    platform::sched_point(SchedKind::kWriteEnter, this);
+    {
+      ScopeExit release([&] {
+        mutex_.lock();
+        writer_active_.store(false, std::memory_order_relaxed);
+        mutex_.unlock();
+      });
+      std::forward<F>(f)();
+      platform::sched_point(SchedKind::kWriteExit, this);
+    }
+    modes_.record_write(CommitMode::kPessimistic);
+    return AcquireResult::kAcquired;
   }
 
   LockStats stats() const { return modes_.snapshot(); }

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 #include <utility>
 
+#include "locks/deadline.h"
 #include "locks/stats.h"
 
 namespace sprwl::locks {
@@ -20,5 +22,23 @@ concept RegionRWLock = requires(L lock, int cs_id) {
   lock.reset_stats();
   { L::name() } -> std::convertible_to<const char*>;
 };
+
+/// Deadline-aware extension: try_read_for / try_write_for take a RELATIVE
+/// virtual-time budget in cycles (validated by checked_deadline at entry)
+/// and return kAcquired or kTimeout. A kTimeout return guarantees full
+/// unwind — no reader flag, BRAVO slot, SNZI arrival, queue position or
+/// waiter count survives the abandoned acquisition. Not every baseline
+/// models this (MCS-RW's queue node cannot be abandoned without an
+/// abortable-MCS protocol; see DESIGN.md §13), so timed consumers gate on
+/// this concept rather than assuming it.
+template <class L>
+concept TimedRegionRWLock =
+    RegionRWLock<L> &&
+    requires(L lock, int cs_id, std::uint64_t budget) {
+      { lock.try_read_for(cs_id, budget, [] {}) }
+          -> std::same_as<AcquireResult>;
+      { lock.try_write_for(cs_id, budget, [] {}) }
+          -> std::same_as<AcquireResult>;
+    };
 
 }  // namespace sprwl::locks

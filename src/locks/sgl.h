@@ -35,6 +35,20 @@ class SglLock {
     }
   }
 
+  /// lock() with an absolute virtual-time deadline (~0 = none): the exact
+  /// load/cas/pause sequence of lock(), plus a free expiry check per
+  /// iteration, so a kNoDeadline caller charges identically to lock().
+  bool lock_until(std::uint64_t deadline) {
+    for (;;) {
+      const std::uint64_t w = word_.load();
+      if ((w & 1) == 0 && word_.cas(w, w + 1)) return true;
+      if (deadline != ~std::uint64_t{0} && platform::now() >= deadline) {
+        return false;
+      }
+      platform::pause();
+    }
+  }
+
   bool try_lock() {
     const std::uint64_t w = word_.load();
     return (w & 1) == 0 && word_.cas(w, w + 1);

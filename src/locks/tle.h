@@ -14,6 +14,7 @@
 #include "common/platform.h"
 #include "common/scope_exit.h"
 #include "htm/engine.h"
+#include "locks/deadline.h"
 #include "locks/sgl.h"
 #include "locks/stats.h"
 
@@ -43,6 +44,35 @@ class TLELock {
                               std::forward<F>(f)));
   }
 
+  /// Deadline-bounded read. An aborted transaction leaves no shared state
+  /// behind by construction, so the only unwind-sensitive step is the
+  /// fallback lock acquisition, which is timed.
+  template <class F>
+  AcquireResult try_read_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                             F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    CommitMode mode{};
+    if (!elide_until(SchedKind::kReadEnter, SchedKind::kReadExit, deadline,
+                     std::forward<F>(f), mode)) {
+      return AcquireResult::kTimeout;
+    }
+    modes_.record_read(mode);
+    return AcquireResult::kAcquired;
+  }
+
+  template <class F>
+  AcquireResult try_write_for(int /*cs_id*/, std::uint64_t budget_cycles,
+                              F&& f) {
+    const std::uint64_t deadline = checked_deadline(budget_cycles);
+    CommitMode mode{};
+    if (!elide_until(SchedKind::kWriteEnter, SchedKind::kWriteExit, deadline,
+                     std::forward<F>(f), mode)) {
+      return AcquireResult::kTimeout;
+    }
+    modes_.record_write(mode);
+    return AcquireResult::kAcquired;
+  }
+
   LockStats stats() const { return modes_.snapshot(); }
   void reset_stats() { modes_.reset(); }
   static const char* name() noexcept { return "TLE"; }
@@ -50,10 +80,25 @@ class TLELock {
  private:
   template <class F>
   CommitMode elide(SchedKind enter, SchedKind exit, F&& f) {
+    CommitMode mode{};
+    elide_until(enter, exit, kNoDeadline, std::forward<F>(f), mode);
+    return mode;  // always succeeds at kNoDeadline
+  }
+
+  /// Shared elision loop. With deadline == kNoDeadline the expiry checks
+  /// read the free virtual clock and never fire, and SglLock::lock_until
+  /// charges exactly what lock() does, so the untimed entry points above
+  /// keep their traces byte-identical to the pre-deadline implementation.
+  template <class F>
+  bool elide_until(SchedKind enter, SchedKind exit, std::uint64_t deadline,
+                   F&& f, CommitMode& mode) {
     htm::Engine* engine = htm::Engine::current();
     int attempts = 0;
     for (;;) {
-      while (gl_.is_locked()) platform::pause();
+      while (gl_.is_locked()) {
+        if (deadline_expired(deadline)) return false;
+        platform::pause();
+      }
       ++attempts;
       const htm::TxStatus status = engine->try_transaction([&] {
         if (gl_.is_locked()) engine->abort_tx(kCodeLockBusy);  // subscription
@@ -61,7 +106,10 @@ class TLELock {
         f();
         platform::sched_point(exit, this);
       });
-      if (status.committed()) return CommitMode::kHtm;
+      if (status.committed()) {
+        mode = CommitMode::kHtm;
+        return true;
+      }
       modes_.record_abort(status, kCodeLockBusy);
       if (status.cause == htm::AbortCause::kCapacity) {
         modes_.record_escalation(Escalation::kCapacity);
@@ -71,15 +119,17 @@ class TLELock {
         modes_.record_escalation(Escalation::kRetryExhausted);
         break;
       }
+      if (deadline_expired(deadline)) return false;
     }
-    gl_.lock();
+    if (!gl_.lock_until(deadline)) return false;
     platform::sched_point(enter, this);
     {
       ScopeExit release([&] { gl_.unlock(); });
       f();
       platform::sched_point(exit, this);
     }
-    return CommitMode::kGl;
+    mode = CommitMode::kGl;
+    return true;
   }
 
   Config cfg_;

@@ -209,6 +209,82 @@ TEST(CheckerLocks, BravoBrokenRevokeCaughtWithDeterministicRepro) {
   std::remove(rep.artifact_path.c_str());
 }
 
+// The cancellation acceptance bar: 2-thread bounded-exhaustive DFS over
+// the timed variant. Each reader alternates an immediately expiring budget
+// (the occupy-expire-release unwind runs on every schedule) with a
+// comfortable one (the acquired path runs too), so the tree covers timeout
+// unwinds racing writer revocations in both orders. Exhausting clean means
+// no interleaving leaves a phantom reader wedging a writer (livelock) or a
+// half-released slot tearing a snapshot.
+TEST(CheckerLocks, AcceptanceDfsSpRWLTimeoutTwoThreads) {
+  Workload w;
+  w.threads = 2;
+  w.writers = 1;
+  w.ops_per_thread = 2;
+  ExploreOptions opt;
+  const ExploreReport rep = explore_dfs(make_runner("SpRWL-timeout", w), w, opt);
+  EXPECT_TRUE(rep.exhausted) << "DFS did not exhaust the bounded tree";
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_FALSE(rep.found_violation)
+      << to_string(rep.verdict.kind) << ": " << rep.verdict.detail;
+  ::testing::Test::RecordProperty(
+      "timeout_dfs_schedules", static_cast<int>(rep.schedules));
+}
+
+// Self-validation for the cancellation unwind: the timed bias read's
+// timeout path skips the ReaderTable slot release, so the expired reader
+// leaves a ghost occupant behind and the next writer's revocation drain
+// waits on it forever. The checker must report it as a livelock, and the
+// artifact must round-trip — including through make_runner, which
+// re-applies the timed workload settings from the lock name. Unlike the
+// torn-read repros, the leak is unconditional (budget 1 expires on every
+// schedule), so ddmin legitimately minimizes the trace to zero decisions;
+// the replay must still reproduce the verdict from that empty trace.
+TEST(CheckerLocks, TimeoutBrokenCaughtWithDeterministicRepro) {
+  const Workload w;
+  ExploreOptions opt;
+  opt.lock_name = "SpRWL-timeout-broken";
+  opt.artifact_dir = ::testing::TempDir();
+  opt.seed = 123;
+  const RunFn run = make_runner("SpRWL-timeout-broken", w);
+  const ExploreReport rep = explore_dfs(run, w, opt);
+
+  ASSERT_TRUE(rep.found_violation)
+      << "the checker missed the leaked reader-table slot";
+  EXPECT_EQ(rep.verdict.kind, Verdict::kLivelock) << rep.verdict.detail;
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+
+  ASSERT_FALSE(rep.artifact_path.empty());
+  ReproArtifact a;
+  ASSERT_TRUE(read_artifact(rep.artifact_path, &a)) << rep.artifact_path;
+  EXPECT_EQ(a.lock, "SpRWL-timeout-broken");
+  EXPECT_EQ(a.choices, rep.repro);
+  const Verdict from_file =
+      replay_trace(make_runner(a.lock, a.workload), a.choices);
+  EXPECT_EQ(from_file.kind, Verdict::kLivelock) << from_file.detail;
+  std::remove(rep.artifact_path.c_str());
+}
+
+// Workload deadline fields survive the artifact round-trip (needed when a
+// repro is driven by explicit timed settings rather than a registry name
+// that re-applies them).
+TEST(CheckerLocks, ArtifactRoundTripsTimedWorkloadFields) {
+  ReproArtifact a;
+  a.lock = "SpRWL";
+  a.policy = "dfs";
+  a.seed = 42;
+  a.workload.timed_reads = true;
+  a.workload.read_deadlines = {1, 400000};
+  a.violation = "none";
+  const std::string path = write_artifact(a, ::testing::TempDir());
+  ReproArtifact b;
+  ASSERT_TRUE(read_artifact(path, &b)) << path;
+  EXPECT_TRUE(b.workload.timed_reads);
+  EXPECT_EQ(b.workload.read_deadlines, a.workload.read_deadlines);
+  std::remove(path.c_str());
+}
+
 // PCT depth calibration: with calibration off the horizon is the static
 // heuristic; with it on, the measured median plus the livelock stall
 // allowance replaces it — deterministically for a fixed seed, and never

@@ -32,6 +32,33 @@ TEST(LatencyHistogram, QuantilesBoundedRelativeError) {
   EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
 }
 
+// Golden values for the within-sub-bucket interpolation. 0..131071
+// uniform puts 4096 samples in each exp-12 sub-bucket; the interpolated
+// p999 must land on the true rank value (130940) to within a few counts,
+// and strictly below the containing bucket's upper bound (131071) — which
+// is exactly what the old "return the upper bound" quantile reported,
+// over-stating the tail by the full sub-bucket width.
+TEST(LatencyHistogram, QuantileInterpolationGoldenValues) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 131072; ++v) h.record(v);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.999)), 130940.0, 8.0);
+  EXPECT_LT(h.quantile(0.999), 131071u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 65535.5, 8.0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(1.0), 131071u);
+}
+
+// A degenerate distribution must report exactly — interpolation never
+// escapes [min, max], so a single repeated value is every quantile.
+TEST(LatencyHistogram, QuantileExactForSingleRepeatedValue) {
+  LatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(777);
+  EXPECT_EQ(h.quantile(0.0), 777u);
+  EXPECT_EQ(h.quantile(0.5), 777u);
+  EXPECT_EQ(h.quantile(0.999), 777u);
+  EXPECT_EQ(h.quantile(1.0), 777u);
+}
+
 TEST(LatencyHistogram, MeanIsExact) {
   LatencyHistogram h;
   h.record(10);
