@@ -171,7 +171,12 @@ std::string write_artifact(const ReproArtifact& a, const std::string& dir) {
     if (i != 0) os << ", ";
     os << a.workload.read_deadlines[i];
   }
-  os << "]\n"
+  os << "],\n"
+     << "    \"snapshot_reads\": "
+     << (a.workload.snapshot_reads ? "true" : "false") << ",\n"
+     << "    \"retain_versions\": " << a.workload.retain_versions << ",\n"
+     << "    \"broken_snapshot\": "
+     << (a.workload.broken_snapshot ? "true" : "false") << "\n"
      << "  },\n"
      << "  \"violation\": \"" << escape(a.violation) << "\",\n"
      << "  \"choices\": [";
@@ -212,6 +217,13 @@ bool read_artifact(const std::string& path, ReproArtifact* out) {
   // timed workloads existed); defaults mean "untimed".
   parse_bool(s, "timed_reads", &a.workload.timed_reads);
   parse_u64_array(s, "read_deadlines", &a.workload.read_deadlines);
+  // Snapshot fields are likewise optional; defaults mean "no snapshots".
+  parse_bool(s, "snapshot_reads", &a.workload.snapshot_reads);
+  std::uint64_t rv = 0;
+  if (parse_u64(s, "retain_versions", &rv)) {
+    a.workload.retain_versions = static_cast<std::uint32_t>(rv);
+  }
+  parse_bool(s, "broken_snapshot", &a.workload.broken_snapshot);
   if (!parse_string(s, "violation", &a.violation)) return false;
   if (!parse_int_array(s, "choices", &a.choices)) return false;
   *out = a;

@@ -1,5 +1,7 @@
 #include "check/harness.h"
 
+#include "check/si.h"
+
 namespace sprwl::check {
 
 const char* to_string(Verdict::Kind k) noexcept {
@@ -9,6 +11,7 @@ const char* to_string(Verdict::Kind k) noexcept {
     case Verdict::kTorn: return "torn-read";
     case Verdict::kLostUpdate: return "lost-update";
     case Verdict::kNonLinearizable: return "non-linearizable";
+    case Verdict::kSiViolation: return "si-violation";
     case Verdict::kLivelock: return "livelock";
     case Verdict::kError: return "error";
   }
@@ -40,6 +43,35 @@ Verdict evaluate(const RunResult& r) {
     return {Verdict::kLostUpdate,
             "final counter " + std::to_string(r.final_value) + " after " +
                 std::to_string(writes) + " writes"};
+  }
+  bool has_snapshot = false;
+  for (const OpRecord& op : r.history) has_snapshot |= op.is_snapshot;
+  if (has_snapshot) {
+    // Snapshot reads are judged by the SI spec; a legal snapshot history
+    // is NOT linearizable against real-time order (a pinned reader keeps
+    // returning the old count after later writes respond), so Wing–Gong
+    // runs only over the non-snapshot sub-history.
+    const SiResult sr = check_si_history(r.history);
+    if (!sr.ok) {
+      const Verdict::Kind k =
+          sr.reason.find("lost update") != std::string::npos
+              ? Verdict::kLostUpdate
+              : Verdict::kSiViolation;
+      return {k, sr.reason};
+    }
+    History lin;
+    for (const OpRecord& op : r.history) {
+      if (!op.is_snapshot) lin.push_back(op);
+    }
+    const LinResult lsub = check_counter_history(lin);
+    if (!lsub.ok) {
+      const Verdict::Kind k =
+          lsub.reason.find("lost update") != std::string::npos
+              ? Verdict::kLostUpdate
+              : Verdict::kNonLinearizable;
+      return {k, lsub.reason};
+    }
+    return {};
   }
   const LinResult lr = check_counter_history(r.history);
   if (!lr.ok) {

@@ -51,6 +51,18 @@ struct Workload {
   /// locks without timed variants.
   bool timed_reads = false;
   std::vector<std::uint64_t> read_deadlines;
+  /// Snapshot-isolation readers: readers acquire via read_snapshot()
+  /// (locks without one fall back to read()), the engine retains
+  /// `retain_versions` prior versions per line, and every op records its
+  /// version-clock stamp so evaluate() can judge snapshot reads against
+  /// the SI spec (si.h) instead of Wing–Gong.
+  bool snapshot_reads = false;
+  std::uint32_t retain_versions = 0;
+  /// Checker self-validation ONLY: forwards
+  /// EngineConfig::broken_snapshot_too_new — snapshot reads return current
+  /// memory even when the line is newer than the pin, the too-new read the
+  /// SI checker must catch.
+  bool broken_snapshot = false;
 };
 
 struct RunResult {
@@ -78,6 +90,7 @@ struct Verdict {
     kTorn,             ///< reader saw a half-applied write
     kLostUpdate,       ///< final memory / write values miss an increment
     kNonLinearizable,  ///< history admits no legal linearization
+    kSiViolation,      ///< snapshot read broke the SI axioms (see si.h)
     kLivelock,         ///< no progress within the bound (incl. deadlock)
     kError,            ///< a fiber threw (lock bug or harness failure)
   };
@@ -112,6 +125,8 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
   // Small table: a fresh engine per explored schedule must not pay the
   // default 2^20-entry version table.
   ec.table_bits = 10;
+  ec.retain_versions = w.retain_versions;
+  ec.broken_snapshot_too_new = w.broken_snapshot;
   htm::Engine engine(ec);
   htm::EngineScope escope(engine);
 
@@ -143,16 +158,30 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
               cells[static_cast<std::size_t>(c)].v.store(v);
             }
           });
-          res.history.push_back({tid, true, invoke, ++clock, v, false});
+          // Commit version of the section's last data publish (HTM: the
+          // commit's write version; SGL fallback: the last store's) — the
+          // SI spec orders writers by it. The section-pinned accessor, not
+          // last_commit_version(): by the time write() returns, the lock
+          // has already published its writer-flag clear through Shared<T>,
+          // which draws a version of its own.
+          res.history.push_back({tid, true, invoke, ++clock, v, false, false,
+                                 w.snapshot_reads
+                                     ? engine.last_section_version()
+                                     : engine.last_commit_version()});
         } else {
           std::uint64_t v = 0;
           bool torn = false;
+          std::uint64_t pin = htm::Engine::kNoSnapshot;
           const std::uint64_t invoke = ++clock;
           const auto body = [&] {
             // Per-attempt reset: an aborted HTM attempt must not leak its
-            // observations into the committed one.
+            // observations into the committed one. The pin is kNoSnapshot
+            // on non-snapshot runs AND on a snapshot section's registered
+            // re-run after a SnapshotMiss — exactly the runs Wing–Gong
+            // (not the SI spec) must judge.
             v = cells[0].v.load();
             torn = false;
+            pin = engine.snapshot_version();
             fault::checkpoint(fault::InjectPoint::kReadBody, &lock);
             for (int c = 1; c < w.cells; ++c) {
               torn |= cells[static_cast<std::size_t>(c)].v.load() != v;
@@ -160,6 +189,7 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
           };
           bool acquired = true;
           bool timed = false;
+          bool snap = false;
           if constexpr (requires {
                           lock.try_read_for(0, std::uint64_t{1}, [] {});
                         }) {
@@ -172,11 +202,19 @@ RunResult run_controlled(const Workload& w, sim::SchedulePolicy& policy,
                          locks::AcquireResult::kAcquired;
             }
           }
-          if (!timed) lock.read(0, body);
+          if constexpr (requires { lock.read_snapshot(0, [] {}); }) {
+            if (!timed && w.snapshot_reads) {
+              snap = true;
+              lock.read_snapshot(0, body);
+            }
+          }
+          if (!timed && !snap) lock.read(0, body);
           // A timed-out read ran no section: it contributes nothing the
           // linearizability checker could judge.
           if (acquired) {
-            res.history.push_back({tid, false, invoke, ++clock, v, torn});
+            const bool pinned = pin != htm::Engine::kNoSnapshot;
+            res.history.push_back({tid, false, invoke, ++clock, v, torn,
+                                   pinned, pinned ? pin : 0});
           }
         }
       }

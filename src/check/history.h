@@ -20,6 +20,14 @@ struct OpRecord {
   std::uint64_t response = 0;  ///< logical stamp after the lock call returned
   std::uint64_t value = 0;     ///< counter value read (reads) / written (writes)
   bool torn = false;           ///< reader saw cells disagree mid-section
+  /// Read ran as a pinned snapshot section (core::SpRWLock::read_snapshot).
+  /// Snapshot reads are judged by the SI spec (si.h), not Wing–Gong: they
+  /// deliberately return stale-but-consistent values, which no legal
+  /// linearization against real-time order admits.
+  bool is_snapshot = false;
+  /// Engine version-clock stamp: the snapshot pin (snapshot reads) or the
+  /// commit version of the section's last publish (writes). 0 otherwise.
+  std::uint64_t version = 0;
 };
 
 using History = std::vector<OpRecord>;

@@ -54,10 +54,35 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
-          "SpRWL-sharded", "SpRWL-bravo", "SpRWL-timeout",
+          "SpRWL-sharded", "SpRWL-bravo", "SpRWL-timeout", "SpRWL-mvcc",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
+
+namespace {
+
+// MVCC snapshot readers: the reader side goes through read_snapshot()
+// against an engine retaining a small per-line ring, and evaluate() judges
+// the history with the SI spec (si.h). Uninstrumented writers' scans never
+// see these readers at all — the interesting interleavings are version
+// pins racing commits, ring wrap, and the SGL-fallback pin guard, all of
+// which the small ring (2 entries) keeps reachable in a 2-thread DFS.
+Workload mvcc_workload(const Workload& w) {
+  Workload sw = w;
+  sw.snapshot_reads = true;
+  if (sw.retain_versions == 0) sw.retain_versions = 2;
+  return sw;
+}
+
+core::Config mvcc_cfg(const Workload& w) {
+  core::Config c = sprwl_cfg(w);
+  // Drive the snapshot path itself, not the HTM-first reader shortcut.
+  c.reader_htm_first = false;
+  c.snapshot_readers = true;
+  return c;
+}
+
+}  // namespace
 
 RunFn make_runner(const std::string& name, const Workload& w) {
   if (name == "SpRWL") {
@@ -140,6 +165,25 @@ RunFn make_runner(const std::string& name, const Workload& w) {
       c.broken_timeout_skip_slot_release = true;
       return core::SpRWLock(c);
     });
+  }
+  if (name == "SpRWL-mvcc") {
+    const Workload sw = mvcc_workload(w);
+    return bind(sw, [sw] { return core::SpRWLock(mvcc_cfg(sw)); });
+  }
+  if (name == "SpRWL-mvcc-broken") {
+    // SI-checker self-validation: the engine's snapshot lookup is blinded
+    // (broken_snapshot_too_new) — a pinned reader racing a commit observes
+    // the post-commit value, a too-new read that violates
+    // read-your-snapshot. Accepted by make_runner only, never listed as
+    // healthy.
+    Workload sw = mvcc_workload(w);
+    sw.broken_snapshot = true;
+    // One cell: a blinded reader that straddles a multi-cell commit also
+    // produces a torn view, which evaluate() would classify ahead of the
+    // SI check. A single word leaves exactly one reachable anomaly — the
+    // too-new read — so the run validates the SI checker specifically.
+    sw.cells = 1;
+    return bind(sw, [sw] { return core::SpRWLock(mvcc_cfg(sw)); });
   }
   if (name == "SpRWL-sharded-broken") {
     // The broken-scan self-validation under the hierarchical layout: the

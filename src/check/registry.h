@@ -15,7 +15,9 @@ namespace sprwl::check {
 /// (uninstrumented readers), SpRWL-vsgl (versioned SGL), SpRWL-snzi,
 /// SpRWL-sharded (per-socket tracking), SpRWL-bravo (global reader bias),
 /// SpRWL-timeout (deadline-aware reads over the bravo fast path),
-/// TLE, RW-LE, RWL (POSIX-style), BRLock, PhaseFair, MCS-RW, PRWL.
+/// SpRWL-mvcc (snapshot-isolation readers over a version-retaining engine,
+/// judged by the SI spec), TLE, RW-LE, RWL (POSIX-style), BRLock,
+/// PhaseFair, MCS-RW, PRWL.
 std::vector<std::string> checked_locks();
 
 /// The deliberately broken SpRWL variant (commit-time reader scan skips
@@ -23,8 +25,9 @@ std::vector<std::string> checked_locks();
 /// self-validation tests and `check_schedules --lock SpRWL-broken` use it
 /// to prove the pipeline catches a real atomicity bug. The other
 /// make_runner-only broken variants follow the same convention:
-/// "SpRWL-sharded-broken", "SpRWL-bravo-broken", and
-/// "SpRWL-timeout-broken" (timeout unwind leaks its ReaderTable slot).
+/// "SpRWL-sharded-broken", "SpRWL-bravo-broken", "SpRWL-timeout-broken"
+/// (timeout unwind leaks its ReaderTable slot), and "SpRWL-mvcc-broken"
+/// (snapshot lookup blinded: pinned readers observe too-new values).
 inline const char* broken_lock_name() noexcept { return "SpRWL-broken"; }
 
 /// Builds a runner executing `w` over a fresh instance of the named lock

@@ -1,0 +1,53 @@
+#include "check/si.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sprwl::check {
+
+SiResult check_si_history(const History& h) {
+  std::vector<const OpRecord*> writes;
+  for (const OpRecord& op : h) {
+    if (op.is_write) writes.push_back(&op);
+  }
+  std::sort(writes.begin(), writes.end(),
+            [](const OpRecord* a, const OpRecord* b) {
+              return a->value < b->value;
+            });
+  std::uint64_t prev_ver = 0;
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    if (writes[i]->value != i + 1) {
+      return {false,
+              "writer values are not 1.." + std::to_string(writes.size()) +
+                  ": rank " + std::to_string(i + 1) + " stored " +
+                  std::to_string(writes[i]->value) + " (lost update)"};
+    }
+    if (writes[i]->version <= prev_ver) {
+      return {false,
+              "commit versions disagree with write order: write " +
+                  std::to_string(writes[i]->value) + " committed at version " +
+                  std::to_string(writes[i]->version) +
+                  " <= its predecessor's " + std::to_string(prev_ver)};
+    }
+    prev_ver = writes[i]->version;
+  }
+  for (const OpRecord& op : h) {
+    if (op.is_write || !op.is_snapshot) continue;
+    std::uint64_t expect = 0;
+    for (const OpRecord* wr : writes) {
+      if (wr->version <= op.version) ++expect;
+    }
+    if (op.value != expect) {
+      return {false,
+              "snapshot read by tid " + std::to_string(op.tid) +
+                  " pinned at version " + std::to_string(op.version) +
+                  " observed " + std::to_string(op.value) + ", expected " +
+                  std::to_string(expect) +
+                  (op.value > expect ? " (too-new read)" : " (too-old read)")};
+    }
+  }
+  return {};
+}
+
+}  // namespace sprwl::check

@@ -158,6 +158,19 @@ struct Config {
   /// this multiple of the sampled revocation latency.
   double bravo_rebias_cooldown = 8.0;
 
+  // --- MVCC snapshot readers (DESIGN.md §14) ------------------------------
+  /// Third acquisition mode: read_snapshot() pins the engine's global
+  /// version clock at entry and serves every Shared<T> load inside the
+  /// section from that snapshot (current memory when the line is unchanged
+  /// since the pin, the retained prior version otherwise). The reader
+  /// registers NOTHING — no flag plane, no SNZI arrival, no bravo slot —
+  /// so writers' commit-time scans and the deferral heuristics never
+  /// observe snapshot readers and writer latency is independent of how
+  /// long the scan runs. Requires an installed engine with
+  /// EngineConfig::retain_versions > 0; without one (or with this flag
+  /// off) read_snapshot() degrades to a plain read().
+  bool snapshot_readers = false;
+
   // --- graceful degradation under adverse schedules (DESIGN.md §8) --------
   /// Exponential backoff between retries after conflict/spurious aborts
   /// (abort storms): first delay, doubling up to the cap. Reader aborts use
@@ -320,6 +333,71 @@ class SpRWLock {
                       std::forward<F>(f));
   }
 
+  /// Executes f as a *snapshot* read section (Config::snapshot_readers,
+  /// DESIGN.md §14): pins the engine's version clock at entry and routes
+  /// every Shared<T> load inside f through the multi-version lookup, so f
+  /// observes the committed state as of the pin no matter how long it
+  /// runs — and registers nothing a writer could wait on. f must be
+  /// read-only and re-runnable: when the pinned version leaves the bounded
+  /// version ring mid-section (htm::SnapshotMiss) the section re-runs as a
+  /// normal registered read, the same re-execution contract the HTM-first
+  /// reader path already imposes.
+  template <class F>
+  void read_snapshot(int cs_id, F&& f) {
+    htm::Engine* engine = htm::Engine::current();
+    if (!cfg_.snapshot_readers || engine == nullptr ||
+        !engine->retains_versions()) {
+      read(cs_id, std::forward<F>(f));
+      return;
+    }
+    checked_tid();  // loud entry validation, like every other entry point
+    for (;;) {
+      // Pin only while the SGL is observed free and unchanged across the
+      // pin. An SGL-fallback writer publishes each store of its section
+      // with its own write version, so a snapshot pinned mid-fallback
+      // could observe a torn prefix of that section; HTM writers are
+      // immune (one commit publishes one version). Same state on both
+      // sides of the pin ⇒ no acquisition happened in between (lock and
+      // unlock each bump the word), so the pin cannot straddle one. The
+      // re-check must NOT go through Shared::load — the thread is pinned
+      // by then and the lookup would serve the word as of the pin,
+      // validating unconditionally — so it reads raw and charges the load
+      // explicitly.
+      const std::uint64_t s0 = gl_.state();
+      if ((s0 & 1) == 0) {
+        engine->snapshot_begin();
+        platform::advance(g_costs.load);
+        if (gl_.state_raw() == s0) break;
+        engine->snapshot_end();
+      }
+      platform::pause();
+    }
+    bool missed = false;
+    {
+      // The unpin lives in a ScopeExit so every unwind path — SnapshotMiss,
+      // an exception out of f, the chaos harness's RunCancelled — releases
+      // the reclamation pin; a leaked pin silently wedges version
+      // reclamation for the rest of the run.
+      ScopeExit unpin([&] { engine->snapshot_end(); });
+      fault::checkpoint(fault::InjectPoint::kReadEnter, this);
+      try {
+        f();
+        fault::checkpoint(fault::InjectPoint::kReadExit, this);
+      } catch (const htm::SnapshotMiss&) {
+        missed = true;
+      }
+    }
+    if (!missed) {
+      snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // The ring reclaimed a version this snapshot still needed (long
+    // section + small retain_versions). Fall back to a registered read —
+    // correct, just no longer invisible to writers.
+    snapshot_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    read_impl(cs_id, locks::kNoDeadline, std::forward<F>(f));
+  }
+
  private:
   template <class F>
   locks::AcquireResult read_impl(int cs_id, std::uint64_t deadline, F&& f) {
@@ -388,7 +466,7 @@ class SpRWLock {
             trace::emit(trace::Event::kReadTimeout);
             return locks::AcquireResult::kTimeout;
           }
-          platform::pause();
+          locks::deadline_pause(deadline);
         }
         have_pass = true;
         pass_below = v0;
@@ -398,7 +476,7 @@ class SpRWLock {
             trace::emit(trace::Event::kReadTimeout);
             return locks::AcquireResult::kTimeout;
           }
-          platform::pause();
+          locks::deadline_pause(deadline);
         }
       }
     }
@@ -503,7 +581,7 @@ class SpRWLock {
       if (locks::deadline_expired(deadline)) return timed_out();
       while (gl_.is_locked()) {
         if (locks::deadline_expired(deadline)) return timed_out();
-        platform::pause();
+        locks::deadline_pause(deadline);
       }
       // Revoke the bias before every attempt: the drain guarantees no
       // fast-path reader is live, and the in-transaction bias subscription
@@ -522,6 +600,10 @@ class SpRWLock {
         check_for_readers(engine, tid);
       });
       if (status.committed()) {
+        // Pin the data commit's version before clear_flag's kIdle publish
+        // overwrites last_commit_version() (the SI checker needs the
+        // version that stamped the section's lines, not the metadata's).
+        engine->note_section_version();
         if (tid == cfg_.sampler_tid) {
           if (Plane* p = plane_peek()) {
             p->write_ema_[ema_slot(cs_id)]->record(platform::now() -
@@ -653,6 +735,8 @@ class SpRWLock {
     htm_reads_.store(0, std::memory_order_relaxed);
     htm_writes_.store(0, std::memory_order_relaxed);
     bias_reads_.store(0, std::memory_order_relaxed);
+    snapshot_reads_.store(0, std::memory_order_relaxed);
+    snapshot_fallbacks_.store(0, std::memory_order_relaxed);
     cold_reader_aborts_.store(0, std::memory_order_relaxed);
     revocations_.store(0, std::memory_order_relaxed);
     revoke_cycles_.store(0, std::memory_order_relaxed);
@@ -675,6 +759,15 @@ class SpRWLock {
   }
   std::uint64_t rebias_count() const {
     return rebias_count_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot sections that completed against their pinned version.
+  std::uint64_t snapshot_read_count() const {
+    return snapshot_reads_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot sections whose pinned version left the bounded ring
+  /// (htm::SnapshotMiss) and re-ran as a registered read.
+  std::uint64_t snapshot_fallback_count() const {
+    return snapshot_fallbacks_.load(std::memory_order_relaxed);
   }
   /// Dense id in the shared reader table (bravo only; 0 otherwise).
   std::uint32_t lock_id() const noexcept { return lock_id_; }
@@ -1036,7 +1129,9 @@ class SpRWLock {
         return true;
       }
       if (locks::deadline_expired(deadline)) return false;
-      platform::pause();  // another writer is draining; wait for kBiasOff
+      // Deadline-keyed pause: expiry mid-drain-wait wakes exactly at the
+      // deadline instead of at the next pause boundary past it.
+      locks::deadline_pause(deadline);
     }
   }
 
@@ -1291,7 +1386,7 @@ class SpRWLock {
         p.waiting_for_[me]->store(-1, std::memory_order_release);
         return false;
       }
-      platform::pause();
+      locks::deadline_pause(deadline);
     }
     p.waiting_for_[me]->store(-1, std::memory_order_release);
     return true;
@@ -1367,6 +1462,10 @@ class SpRWLock {
     {
       ScopeExit release([&] { gl_.unlock(); });
       f();
+      // Under the SGL every store of f published with its own version;
+      // the last one is the section's commit timestamp. Pin it before the
+      // trailing writer-flag clear publishes over it.
+      if (htm::Engine* e = htm::Engine::current()) e->note_section_version();
     }
     if (tid == cfg_.sampler_tid) {
       if (Plane* pp = plane_peek()) {
@@ -1418,6 +1517,8 @@ class SpRWLock {
   std::atomic<std::uint64_t> last_revoke_end_{0};
   std::atomic<std::uint64_t> revoke_ema_hint_{0};
   std::atomic<std::uint64_t> bias_reads_{0};
+  std::atomic<std::uint64_t> snapshot_reads_{0};
+  std::atomic<std::uint64_t> snapshot_fallbacks_{0};
   std::atomic<std::uint64_t> htm_reads_{0};
   std::atomic<std::uint64_t> htm_writes_{0};
   std::atomic<std::uint64_t> cold_reader_aborts_{0};

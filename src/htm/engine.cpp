@@ -47,6 +47,15 @@ Engine::Engine(EngineConfig cfg)
   if (track_owners_) {
     owners_ = std::vector<std::atomic<std::uint32_t>>(1ULL << cfg.table_bits);
   }
+  retain_ = cfg.retain_versions;
+  if (retain_ != 0) {
+    // One K-slot ring per table index (~24 bytes/slot): callers enabling
+    // retention size table_bits to the workload's line count, not the
+    // 2^20 default.
+    line_hist_ = std::vector<LineHist>(1ULL << cfg.table_bits);
+    version_ring_ =
+        std::vector<VersionSlot>((1ULL << cfg.table_bits) * retain_);
+  }
   descriptors_.reserve(static_cast<std::size_t>(cfg.max_threads));
   std::uint64_t seed_state = cfg.seed;
   for (int i = 0; i < cfg.max_threads; ++i) {
@@ -99,6 +108,8 @@ void Engine::maybe_spurious(Descriptor& d) {
 
 void Engine::begin_attempt(Descriptor& d, bool rot) {
   platform::advance(g_costs.tx_begin);
+  assert(d.snap_pin.load(std::memory_order_relaxed) == kNoSnapshot &&
+         "transaction inside a snapshot section (end the snapshot first)");
   d.depth = 1;
   d.is_rot = rot;
   d.rv = gvc_.load(std::memory_order_acquire);
@@ -381,14 +392,29 @@ void Engine::commit_publish_perline(Descriptor& d) {
     if (track_owners_) {
       for (const std::uint32_t line : lines) extra += coherence_extra(line);
     }
+    if (retain_ != 0) extra += g_costs.store * d.writes.size();  // the copies
     platform::advance(g_costs.line_publish * lines.size() + extra);
 
     // Write-back: no virtual-time advance from here to release, so the
     // values and their new versions appear at one virtual-time instant.
+    // With retention on, every overwritten word's old value is appended to
+    // its line's ring first (still under the line locks, before any store),
+    // so a snapshot reader that observes a new value always finds the ring
+    // entry covering it.
+    if (retain_ != 0) {
+      std::uint64_t min_pin = kNoSnapshot - 1;
+      for (const WriteEntry& w : d.writes) {
+        const std::uint32_t line =
+            line_of(reinterpret_cast<std::uintptr_t>(w.cell));
+        history_append(line, w.cell,
+                       w.cell->load(std::memory_order_relaxed), wv, min_pin);
+      }
+    }
     for (const WriteEntry& w : d.writes)
       w.cell->store(w.value, std::memory_order_release);
     for (std::size_t i = 0; i < lines.size(); ++i)
       table_[lines[i]].store(wv, std::memory_order_release);
+    d.last_wv = wv;
     d.publishing.store(false, std::memory_order_release);
     publish_count_.fetch_sub(1, std::memory_order_release);
   } catch (...) {
@@ -413,6 +439,7 @@ void Engine::commit_publish_global(Descriptor& d) {
       for (const std::uint32_t line : d.write_line_list)
         extra += coherence_extra(line);
     }
+    if (retain_ != 0) extra += g_costs.store * d.writes.size();  // the copies
     platform::advance(g_costs.line_publish * d.write_line_list.size() + extra);
   } catch (...) {
     commit_unlock();
@@ -438,12 +465,22 @@ void Engine::commit_publish_global(Descriptor& d) {
     }
   }
   const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (retain_ != 0) {
+    std::uint64_t min_pin = kNoSnapshot - 1;
+    for (const WriteEntry& w : d.writes) {
+      const std::uint32_t line =
+          line_of(reinterpret_cast<std::uintptr_t>(w.cell));
+      history_append(line, w.cell, w.cell->load(std::memory_order_relaxed),
+                     wv, min_pin);
+    }
+  }
   for (const WriteEntry& w : d.writes) {
     w.cell->store(w.value, std::memory_order_release);
   }
   for (const std::uint32_t line : d.write_line_list) {
     table_[line].store(wv, std::memory_order_release);
   }
+  d.last_wv = wv;
   commit_unlock();
 }
 
@@ -504,7 +541,8 @@ bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
   if (cfg_.commit_mode == CommitMode::kGlobalLock) {
     commit_lock();
     try {
-      platform::advance(g_costs.line_publish + extra);
+      platform::advance(g_costs.line_publish + extra +
+                        (retain_ != 0 ? g_costs.store : 0));
     } catch (...) {
       commit_unlock();
       throw;
@@ -516,9 +554,15 @@ bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
     }
     const std::uint64_t old = table_[line].load(std::memory_order_relaxed);
     table_[line].store(old | kLockedBit, std::memory_order_release);
-    cell.store(desired, std::memory_order_release);
     const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (retain_ != 0) {
+      std::uint64_t min_pin = kNoSnapshot - 1;
+      history_append(line, &cell, cell.load(std::memory_order_relaxed), wv,
+                     min_pin);
+    }
+    cell.store(desired, std::memory_order_release);
     table_[line].store(wv, std::memory_order_release);
+    note_publish(wv);
     commit_unlock();
     return true;
   }
@@ -530,15 +574,22 @@ bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
   const std::uint64_t prelock = lock_line(line, retries);
   if (retries > 0) nontx_retries_.fetch_add(retries, std::memory_order_relaxed);
   try {
-    platform::advance(g_costs.line_publish + extra);
+    platform::advance(g_costs.line_publish + extra +
+                      (retain_ != 0 ? g_costs.store : 0));
     if (expected != nullptr &&
         cell.load(std::memory_order_acquire) != *expected) {
       table_[line].store(prelock, std::memory_order_release);
       return false;
     }
-    cell.store(desired, std::memory_order_release);
     const std::uint64_t wv = gvc_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (retain_ != 0) {
+      std::uint64_t min_pin = kNoSnapshot - 1;
+      history_append(line, &cell, cell.load(std::memory_order_relaxed), wv,
+                     min_pin);
+    }
+    cell.store(desired, std::memory_order_release);
     table_[line].store(wv, std::memory_order_release);
+    note_publish(wv);
   } catch (...) {
     table_[line].store(prelock, std::memory_order_release);
     throw;
@@ -576,6 +627,182 @@ bool Engine::nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
   return nontx_publish(line, cell, desired, &expected);
 }
 
+std::uint64_t Engine::min_live_pin() const noexcept {
+  std::uint64_t m = kNoSnapshot;
+  for (const auto& d : descriptors_) {
+    const std::uint64_t p = d->snap_pin.load(std::memory_order_acquire);
+    if (p < m) m = p;
+  }
+  return m;
+}
+
+void Engine::note_publish(std::uint64_t wv) noexcept {
+  const int tid = platform::thread_id();
+  if (tid >= 0 && tid < cfg_.max_threads)
+    descriptors_[static_cast<std::size_t>(tid)]->last_wv = wv;
+}
+
+void Engine::history_append(std::uint32_t line,
+                            const std::atomic<std::uint64_t>* cell,
+                            std::uint64_t old_value, std::uint64_t wv,
+                            std::uint64_t& min_pin) {
+  LineHist& h = line_hist_[line];
+  const std::uint64_t s0 = h.seq.load(std::memory_order_relaxed);
+  assert((s0 & 1) == 0 && "concurrent ring append despite the line lock");
+  const std::uint64_t n = h.count.load(std::memory_order_relaxed);
+  const std::size_t base = static_cast<std::size_t>(line) * retain_;
+  std::uint64_t reclaimed_floor = 0;
+  if (n >= retain_) {
+    // Ring full: the oldest entry is reclaimable only once no live snapshot
+    // can still need it (epoch-based reclamation in virtual time — its
+    // replaced_at is at or below the oldest live pin). Otherwise the new
+    // overwrite goes unrecorded: the floor rises to wv and the affected
+    // snapshots fall back to the stall path (version_overflows).
+    const std::uint64_t oldest =
+        version_ring_[base + static_cast<std::size_t>(n % retain_)]
+            .replaced_at.load(std::memory_order_relaxed);
+    if (min_pin == kNoSnapshot - 1) min_pin = min_live_pin();
+    if (oldest > min_pin) {
+      h.seq.store(s0 + 1, std::memory_order_release);
+      if (wv > h.floor.load(std::memory_order_relaxed))
+        h.floor.store(wv, std::memory_order_relaxed);
+      h.seq.store(s0 + 2, std::memory_order_release);
+      overflows_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    reclaimed_floor = oldest;
+  }
+  h.seq.store(s0 + 1, std::memory_order_release);
+  if (reclaimed_floor > h.floor.load(std::memory_order_relaxed))
+    h.floor.store(reclaimed_floor, std::memory_order_relaxed);
+  VersionSlot& s = version_ring_[base + static_cast<std::size_t>(n % retain_)];
+  s.addr.store(reinterpret_cast<std::uintptr_t>(cell),
+               std::memory_order_relaxed);
+  s.value.store(old_value, std::memory_order_relaxed);
+  s.replaced_at.store(wv, std::memory_order_relaxed);
+  h.count.store(n + 1, std::memory_order_relaxed);
+  h.seq.store(s0 + 2, std::memory_order_release);
+}
+
+std::uint64_t Engine::snapshot_begin() {
+  Descriptor& d = self();
+  if (retain_ == 0)
+    throw std::logic_error(
+        "snapshot_begin: EngineConfig::retain_versions is 0");
+  assert(d.depth == 0 && "snapshot inside a transaction");
+  const std::uint64_t s = gvc_.load(std::memory_order_acquire);
+  d.snap_pin.store(s, std::memory_order_release);
+  // Publish the pin before any ring lookup trusts it. Reclamation racing
+  // this fence stays safe regardless — it raises the line floor, and every
+  // lookup re-validates floor <= pin — the fence only keeps misses rare.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  return s;
+}
+
+void Engine::snapshot_end() noexcept {
+  const int tid = platform::thread_id();
+  if (tid < 0 || tid >= cfg_.max_threads) return;
+  descriptors_[static_cast<std::size_t>(tid)]->snap_pin.store(
+      kNoSnapshot, std::memory_order_release);
+}
+
+std::uint64_t Engine::snapshot_version() noexcept {
+  const int tid = platform::thread_id();
+  if (tid < 0 || tid >= cfg_.max_threads) return kNoSnapshot;
+  return descriptors_[static_cast<std::size_t>(tid)]->snap_pin.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Engine::last_commit_version() noexcept { return self().last_wv; }
+
+void Engine::note_section_version() noexcept {
+  Descriptor& d = self();
+  d.last_section_wv = d.last_wv;
+}
+
+std::uint64_t Engine::last_section_version() noexcept {
+  return self().last_section_wv;
+}
+
+std::uint64_t Engine::snapshot_read(const std::atomic<std::uint64_t>& cell) {
+  Descriptor& d = self();
+  const std::uint64_t snap = d.snap_pin.load(std::memory_order_relaxed);
+  assert(snap != kNoSnapshot && "snapshot_read without snapshot_begin");
+  platform::advance(g_costs.load);
+  const auto addr = reinterpret_cast<std::uintptr_t>(&cell);
+  const std::uint32_t line = line_of(addr);
+  if (track_owners_) charge_coherence(line);
+  for (;;) {
+    const std::uint64_t v1 = table_[line].load(std::memory_order_acquire);
+    if ((v1 & kLockedBit) == 0 && v1 <= snap) {
+      // Line unchanged since the pin: current memory is the snapshot value.
+      const std::uint64_t val = cell.load(std::memory_order_acquire);
+      if (table_[line].load(std::memory_order_acquire) == v1) return val;
+      continue;  // raced a publish; reinspect
+    }
+    if (cfg_.broken_snapshot_too_new) {  // checker self-validation only
+      ++d.snap_hits;
+      return cell.load(std::memory_order_acquire);
+    }
+    // The line is newer than the pin (or mid-publish). One seqlock pass
+    // over its ring, charged as one extra line read; the writer holding
+    // the line is never waited on unless its commit belongs in this
+    // snapshot.
+    platform::advance(g_costs.load);
+    const LineHist& h = line_hist_[line];
+    const std::uint64_t s0 = h.seq.load(std::memory_order_acquire);
+    if ((s0 & 1) != 0) {  // append in flight
+      platform::pause();
+      continue;
+    }
+    const std::uint64_t fl = h.floor.load(std::memory_order_acquire);
+    const std::uint64_t n = h.count.load(std::memory_order_acquire);
+    const std::size_t base = static_cast<std::size_t>(line) * retain_;
+    // Oldest-first: per-line replaced_at is monotone (appends happen under
+    // the line lock, which orders the wv fetch_adds), so the first entry
+    // of this word with replaced_at > snap is the value the snapshot saw.
+    bool found = false;
+    std::uint64_t found_value = 0;
+    for (std::uint64_t i = n > retain_ ? n - retain_ : 0; i < n && !found;
+         ++i) {
+      const VersionSlot& s =
+          version_ring_[base + static_cast<std::size_t>(i % retain_)];
+      if (s.addr.load(std::memory_order_relaxed) == addr &&
+          s.replaced_at.load(std::memory_order_relaxed) > snap) {
+        found_value = s.value.load(std::memory_order_relaxed);
+        found = true;
+      }
+    }
+    if (h.seq.load(std::memory_order_acquire) != s0) continue;  // ring moved
+    if (snap < fl) {
+      // The ring no longer covers the pin: the oldest needed version was
+      // reclaimed or never retained. Fall back to the stall path.
+      ++d.snap_misses;
+      throw SnapshotMiss{};
+    }
+    if (found) {
+      ++d.snap_hits;
+      return found_value;
+    }
+    if ((v1 & kLockedBit) != 0) {
+      // In-flight publish and no retained entry newer than the pin: either
+      // the commit's wv is at or below the pin (its writes belong in this
+      // snapshot) or its write-back is about to append the entry this
+      // reader needs. Brief reader-side wait; the writer never waits.
+      platform::pause();
+      continue;
+    }
+    // No overwrite of this word since the pin (the ring is complete above
+    // the floor): current memory is the snapshot value. Re-validating the
+    // ring after the load catches a racing overwrite — every publish
+    // appends before it stores.
+    const std::uint64_t val = cell.load(std::memory_order_acquire);
+    if (h.seq.load(std::memory_order_acquire) != s0) continue;
+    ++d.snap_hits;
+    return val;
+  }
+}
+
 EngineStats Engine::stats() const {
   EngineStats s;
   for (const auto& d : descriptors_) {
@@ -586,11 +813,14 @@ EngineStats Engine::stats() const {
     s.aborts_explicit += d->ab_explicit;
     s.aborts_spurious += d->ab_spurious;
     s.commit_line_retries += d->line_retries;
+    s.snapshot_hits += d->snap_hits;
+    s.snapshot_misses += d->snap_misses;
   }
   s.nontx_line_retries = nontx_retries_.load(std::memory_order_relaxed);
   s.publish_drains = drains_.load(std::memory_order_relaxed);
   s.socket_transfers = socket_transfers_.load(std::memory_order_relaxed);
   s.cross_transfers = cross_transfers_.load(std::memory_order_relaxed);
+  s.version_overflows = overflows_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -599,11 +829,13 @@ void Engine::reset_stats() {
     d->commits_htm = d->commits_rot = 0;
     d->ab_conflict = d->ab_capacity = d->ab_explicit = d->ab_spurious = 0;
     d->line_retries = 0;
+    d->snap_hits = d->snap_misses = 0;
   }
   nontx_retries_.store(0, std::memory_order_relaxed);
   drains_.store(0, std::memory_order_relaxed);
   socket_transfers_.store(0, std::memory_order_relaxed);
   cross_transfers_.store(0, std::memory_order_relaxed);
+  overflows_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sprwl::htm

@@ -78,6 +78,13 @@ class AbortException {
   std::uint8_t code_;
 };
 
+/// Control-flow token for a failed snapshot read: the version the reader's
+/// pin requires was reclaimed from (or never fit in) the bounded ring. Like
+/// AbortException it is deliberately not a std::exception — snapshot user
+/// code must let it unwind to the lock layer, which falls back to a normal
+/// (registered or HTM-first) read.
+class SnapshotMiss {};
+
 class Engine {
  public:
   explicit Engine(EngineConfig cfg = {});
@@ -175,6 +182,68 @@ class Engine {
   bool nontx_cas(std::atomic<std::uint64_t>& cell, std::uint64_t expected,
                  std::uint64_t desired);
 
+  // --- MVCC snapshots (EngineConfig::retain_versions) ---------------------
+  /// True when the engine retains per-line version history. Single flag
+  /// test: Shared<T> consults it (via in_snapshot) on every plain load.
+  bool retains_versions() const noexcept { return retain_ != 0; }
+
+  /// Pins the calling thread's snapshot at the current global version and
+  /// returns it. Until snapshot_end(), Shared<T> loads on this thread are
+  /// served at this version (snapshot_read): reads of lines newer than the
+  /// pin come from the version ring, so the reader never waits for — and is
+  /// never seen by — writers. Requires retain_versions > 0 and no open
+  /// transaction.
+  std::uint64_t snapshot_begin();
+
+  /// Releases the pin (idempotent). Reclamation may then advance past it.
+  void snapshot_end() noexcept;
+
+  /// True when the calling thread holds a snapshot pin on this engine.
+  /// Inline for the same reason as in_tx(): Shared<T> consults it on every
+  /// plain access, and the retain_ test keeps the default path one branch.
+  bool in_snapshot() noexcept {
+    if (retain_ == 0) return false;
+    const int tid = platform::thread_id();
+    if (tid < 0 || tid >= cfg_.max_threads) return false;
+    return descriptors_[static_cast<std::size_t>(tid)]->snap_pin.load(
+               std::memory_order_relaxed) != kNoSnapshot;
+  }
+
+  /// The calling thread's current pin (kNoSnapshot when none).
+  std::uint64_t snapshot_version() noexcept;
+
+  /// Reads `cell` at the calling thread's pinned version: current memory
+  /// when the owning line is unchanged since the pin, the retained old
+  /// value when it is newer. Throws SnapshotMiss when the pinned version
+  /// left the bounded ring. Never blocks on a writer whose commit version
+  /// is newer than the pin.
+  std::uint64_t snapshot_read(const std::atomic<std::uint64_t>& cell);
+
+  /// Version drawn by the calling thread's most recent successful publish
+  /// (commit or nontx store). The SI checker records it as the write's
+  /// commit timestamp.
+  std::uint64_t last_commit_version() noexcept;
+
+  /// Marks the end of a lock section's data publishes: copies the calling
+  /// thread's last_commit_version() into a slot that trailing publishes
+  /// (writer-flag clears and other lock metadata going through Shared<T>)
+  /// do not disturb. The lock layer calls this at its commit points; the
+  /// SI checker reads the pinned value via last_section_version() so a
+  /// writer's recorded commit timestamp is the version that actually
+  /// stamped its data lines.
+  void note_section_version() noexcept;
+
+  /// The value pinned by the calling thread's last note_section_version().
+  std::uint64_t last_section_version() noexcept;
+
+  /// Current global version clock (free read; the checker and tests use it
+  /// to reason about pins).
+  std::uint64_t version_clock() const noexcept {
+    return gvc_.load(std::memory_order_acquire);
+  }
+
+  static constexpr std::uint64_t kNoSnapshot = ~std::uint64_t{0};
+
   // --- topology-aware coherence (see sim/topology.h) ----------------------
   /// True when the engine tracks per-line last owners (>1 simulated socket,
   /// or EngineConfig::track_line_owners). Shared<T> consults it on the
@@ -266,6 +335,17 @@ class Engine {
     std::uint64_t commits_htm = 0, commits_rot = 0;
     std::uint64_t ab_conflict = 0, ab_capacity = 0, ab_explicit = 0, ab_spurious = 0;
     std::uint64_t line_retries = 0;  // contended commit line acquisitions
+    // MVCC: the thread's live snapshot pin (kNoSnapshot = none). Atomic
+    // because reclamation on other threads reads it to compute the oldest
+    // live snapshot. Liveness only — safety is the per-line floor, which a
+    // snapshot reader re-validates inside every ring lookup.
+    std::atomic<std::uint64_t> snap_pin{~std::uint64_t{0}};
+    std::uint64_t snap_hits = 0, snap_misses = 0;
+    std::uint64_t last_wv = 0;  // version of the latest successful publish
+    // Snapshot of last_wv taken by note_section_version(): the version of
+    // the last publish that belonged to a lock *section body*, before any
+    // trailing lock-metadata publish could overwrite last_wv.
+    std::uint64_t last_section_wv = 0;
     // True from just before read-set validation until the commit's writes
     // are fully published. On its own cache line: every nontx publish may
     // scan it (the strong-isolation drain) while the owner flips it.
@@ -273,6 +353,48 @@ class Engine {
   };
 
   static constexpr std::uint64_t kLockedBit = 1ULL << 63;
+
+  // --- MVCC version buffer (retain_versions > 0 only) ----------------------
+  // Per dense line id: a K-slot ring of (word address, old value,
+  // replaced_at) entries appended — exclusively while the line's versioned
+  // lock is held, so appends are serialized per line — whenever a publish
+  // overwrites a word. `replaced_at` is the publishing commit's wv: the
+  // recorded value was current for every version < wv. Per-line appends are
+  // monotone in wv (the line lock orders the fetch_adds), so a lookup scans
+  // oldest→newest for the first entry of its word with replaced_at > pin.
+  //
+  // Concurrency (the TSan MvccRealThread leg): `seq` is a seqlock —
+  // odd while an append is in flight; readers snapshot seq, scan, and
+  // retry if it moved. `floor` is the oldest version the ring still fully
+  // covers: reclaiming (or failing to retain) an entry raises it, and a
+  // lookup whose pin is below the floor (re-validated inside the seqlock
+  // window) misses instead of returning a hole-punched history.
+  struct VersionSlot {
+    std::atomic<std::uint64_t> addr{0};
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> replaced_at{0};
+  };
+  struct alignas(64) LineHist {
+    std::atomic<std::uint64_t> seq{0};    // seqlock generation; odd = mutating
+    std::atomic<std::uint64_t> count{0};  // entries ever appended (ring pos)
+    std::atomic<std::uint64_t> floor{0};  // history complete for pins >= floor
+  };
+
+  /// Records `old_value` (the pre-publish content of `cell`) as the line's
+  /// state before version `wv`. Caller holds the line's versioned lock.
+  /// `min_pin` caches min_live_pin() across one commit's appends
+  /// (kNoSnapshot - 1 = not yet computed).
+  void history_append(std::uint32_t line, const std::atomic<std::uint64_t>* cell,
+                      std::uint64_t old_value, std::uint64_t wv,
+                      std::uint64_t& min_pin);
+
+  /// Oldest live snapshot pin across all threads (kNoSnapshot when none).
+  std::uint64_t min_live_pin() const noexcept;
+
+  /// Records `wv` as the calling thread's last publish version (no-op for
+  /// threads without a dense id). The SI checker reads it back via
+  /// last_commit_version().
+  void note_publish(std::uint64_t wv) noexcept;
 
   // Inline for the same reason as in_tx(): every tx_read/tx_write starts
   // by resolving the calling thread's descriptor.
@@ -412,6 +534,12 @@ class Engine {
   // nor any branch beyond the track_owners_ test.
   bool track_owners_ = false;
   std::vector<std::atomic<std::uint32_t>> owners_;
+  // MVCC state, allocated only when retain_versions > 0 (the default engine
+  // pays neither the memory nor any branch beyond the retain_ test).
+  std::uint32_t retain_ = 0;
+  std::vector<LineHist> line_hist_;
+  std::vector<VersionSlot> version_ring_;  // (1 << table_bits) * retain_
+  std::atomic<std::uint64_t> overflows_{0};
   std::atomic<std::uint64_t> socket_transfers_{0};
   std::atomic<std::uint64_t> cross_transfers_{0};
   std::vector<std::unique_ptr<Descriptor>> descriptors_;

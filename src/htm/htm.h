@@ -100,6 +100,18 @@ struct EngineConfig {
   /// prove tracking itself is virtual-time neutral (same-socket extras
   /// default to 0, so outputs stay bit-identical to tracking disabled).
   bool track_line_owners = false;
+  /// MVCC snapshot support: number of prior versions retained per line in a
+  /// bounded ring (0 = off, the default — no memory, no branches beyond one
+  /// flag test, virtual-time traces identical to the seed). With K > 0
+  /// every publish additionally records the overwritten word's old value
+  /// keyed by the commit version, and snapshot readers
+  /// (snapshot_begin/snapshot_read, see engine.h) serve reads at their
+  /// pinned version from the ring instead of waiting out writers.
+  std::uint32_t retain_versions = 0;
+  /// Checker self-validation ONLY: snapshot reads skip the version-buffer
+  /// lookup and return current memory even when the line is newer than the
+  /// reader's pin — a too-new read the SI checker must catch.
+  bool broken_snapshot_too_new = false;
 };
 
 /// Per-engine event counters (aggregated over all threads).
@@ -124,6 +136,16 @@ struct EngineStats {
   /// to coherence traffic rather than algorithmic work.
   std::uint64_t socket_transfers = 0;
   std::uint64_t cross_transfers = 0;
+  /// MVCC (EngineConfig::retain_versions > 0, zero otherwise):
+  /// snapshot reads served from the version ring (the line was newer than
+  /// the reader's pin and the old value was found) vs. misses (the needed
+  /// version was reclaimed or never recorded — the reader fell back to the
+  /// stall path), and publishes that could not retain their overwritten
+  /// value because the ring was full of entries still pinned by a live
+  /// snapshot (the floor rose instead; affected snapshots miss).
+  std::uint64_t snapshot_hits = 0;
+  std::uint64_t snapshot_misses = 0;
+  std::uint64_t version_overflows = 0;
 
   std::uint64_t total_aborts() const noexcept {
     return aborts_conflict + aborts_capacity + aborts_explicit + aborts_spurious;

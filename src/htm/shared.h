@@ -61,6 +61,11 @@ class Shared {
     Engine* e = Engine::current();
     if (e != nullptr) {
       if (e->in_tx()) return decode(e->tx_read(cell_));
+      // MVCC snapshot sections (core::SpRWLock::read_snapshot) route every
+      // load through the version lookup; threads outside a snapshot — and
+      // every thread of an engine without retained versions — pay one flag
+      // test. Throws SnapshotMiss when the pinned version left the ring.
+      if (e->in_snapshot()) return decode(e->snapshot_read(cell_));
       if (e->tracks_owners()) e->plain_access(&cell_);
     }
     platform::advance(g_costs.load);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "common/costs.h"
 #include "common/platform.h"
 
 namespace sprwl::locks {
@@ -72,6 +73,26 @@ inline bool deadline_expired(std::uint64_t deadline) noexcept {
 inline std::uint64_t cap_wait(std::uint64_t until,
                               std::uint64_t deadline) noexcept {
   return until < deadline ? until : deadline;
+}
+
+/// pause() for deadline-bounded spin loops. A plain pause advances the
+/// clock by its full cost, so a spinner detects expiry only at the next
+/// multiple of g_costs.pause past the deadline — the retry the waiter then
+/// abandons was already doomed when the deadline struck. When the expiry
+/// would land inside the pause, this sleeps on a deadline-keyed simulator
+/// wakeup to exactly `deadline` instead, so the caller's next
+/// deadline_expired() check observes now == deadline precisely (the
+/// wait-until writer abort). kNoDeadline compiles to the plain pause —
+/// untimed traces stay byte-identical.
+inline void deadline_pause(std::uint64_t deadline) {
+  if (deadline != kNoDeadline) {
+    const std::uint64_t now = platform::now();
+    if (now < deadline && deadline - now < g_costs.pause) {
+      platform::wait_until(deadline);
+      return;
+    }
+  }
+  platform::pause();
 }
 
 }  // namespace sprwl::locks

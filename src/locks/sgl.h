@@ -12,6 +12,7 @@
 
 #include "common/platform.h"
 #include "htm/shared.h"
+#include "locks/deadline.h"
 
 namespace sprwl::locks {
 
@@ -27,6 +28,12 @@ class SglLock {
   /// Raw combined state for version+locked in one load.
   std::uint64_t state() const { return word_.load(); }
 
+  /// Uncharged raw view of the combined state, bypassing the engine
+  /// dispatch entirely. The snapshot-reader pin guard needs it: after the
+  /// pin, Shared::load would resolve this word *as of the snapshot* and
+  /// validate unconditionally (core/sprwl.h read_snapshot).
+  std::uint64_t state_raw() const noexcept { return word_.raw_load(); }
+
   void lock() {
     for (;;) {
       const std::uint64_t w = word_.load();
@@ -37,15 +44,15 @@ class SglLock {
 
   /// lock() with an absolute virtual-time deadline (~0 = none): the exact
   /// load/cas/pause sequence of lock(), plus a free expiry check per
-  /// iteration, so a kNoDeadline caller charges identically to lock().
+  /// iteration, so a kNoDeadline caller charges identically to lock(). A
+  /// spin whose expiry would land mid-pause sleeps to exactly the deadline
+  /// instead (deadline_pause), so timeouts are observed at now == deadline.
   bool lock_until(std::uint64_t deadline) {
     for (;;) {
       const std::uint64_t w = word_.load();
       if ((w & 1) == 0 && word_.cas(w, w + 1)) return true;
-      if (deadline != ~std::uint64_t{0} && platform::now() >= deadline) {
-        return false;
-      }
-      platform::pause();
+      if (deadline_expired(deadline)) return false;
+      deadline_pause(deadline);
     }
   }
 

@@ -135,6 +135,22 @@ struct AdmissionConfig {
   /// Shed when the request already waited longer than this before service
   /// could start (its sojourn bound is unmeetable). 0 disables.
   std::uint64_t max_queue_delay = 0;
+  /// Per-class overrides for READER requests (0 = inherit the shared bound
+  /// above). Overload policy usually wants to shed analytical readers
+  /// before writers — a dropped scan is retryable, a dropped update is
+  /// lost work — so readers get *tighter* bounds than the shared ones
+  /// while writers keep them.
+  std::size_t reader_max_backlog = 0;
+  std::uint64_t reader_max_queue_delay = 0;
+
+  std::size_t backlog_bound(bool is_write) const noexcept {
+    return !is_write && reader_max_backlog != 0 ? reader_max_backlog
+                                                : max_backlog;
+  }
+  std::uint64_t queue_delay_bound(bool is_write) const noexcept {
+    return !is_write && reader_max_queue_delay != 0 ? reader_max_queue_delay
+                                                    : max_queue_delay;
+  }
 };
 
 struct ClassStats {
@@ -200,9 +216,11 @@ OpenLoopStats run_open_loop(Simulator& sim, int nservers,
       ++cls.offered;
       if (adm.enabled) {
         bool shed = false;
-        if (adm.max_queue_delay != 0 && qdelay > adm.max_queue_delay) {
+        const std::uint64_t delay_bound = adm.queue_delay_bound(rq.is_write);
+        const std::size_t backlog_bound = adm.backlog_bound(rq.is_write);
+        if (delay_bound != 0 && qdelay > delay_bound) {
           shed = true;
-        } else if (adm.max_backlog != 0) {
+        } else if (backlog_bound != 0) {
           // Backlog = requests that have arrived by `start` but not been
           // dispatched. reqs is sorted, so a binary search counts arrivals;
           // this is observer arithmetic and charges no virtual time.
@@ -212,7 +230,7 @@ OpenLoopStats run_open_loop(Simulator& sim, int nservers,
                                  return t < r.arrival;
                                }) -
               reqs.begin());
-          if (arrived > i + 1 && arrived - (i + 1) > adm.max_backlog) {
+          if (arrived > i + 1 && arrived - (i + 1) > backlog_bound) {
             shed = true;
           }
         }

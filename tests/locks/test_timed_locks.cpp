@@ -173,6 +173,62 @@ TYPED_TEST(PessimisticTimed, TimeoutUnderHeldWriteLockThenCleanReacquire) {
   EXPECT_EQ(cell.v.raw_load(), 2u);
 }
 
+// The deadline-keyed wakeup (locks::deadline_pause): a spin whose expiry
+// would land mid-pause sleeps on a simulator wakeup to exactly the
+// deadline, so the caller's next expiry check observes now == deadline
+// precisely — not the next multiple of g_costs.pause past it. Exact
+// virtual-time regression: each equality below fails if the wait is
+// quantized back to whole pauses.
+TEST(DeadlineWakeup, PauseLoopExpiresAtExactVirtualTime) {
+  sim::Simulator sim;
+  sim.run(1, [&](int) {
+    // Budget 103 = 2 full pauses (80) + a 23-cycle tail: the tail must be
+    // slept exactly, not rounded up to 120.
+    std::uint64_t d = platform::now() + 103;
+    while (!deadline_expired(d)) deadline_pause(d);
+    EXPECT_EQ(platform::now(), d);
+    // A budget that IS a multiple of the pause cost also lands exactly.
+    d = platform::now() + 2 * g_costs.pause;
+    while (!deadline_expired(d)) deadline_pause(d);
+    EXPECT_EQ(platform::now(), d);
+    // kNoDeadline compiles to the plain pause — one pause charge plus the
+    // simulator's deterministic 0..15-cycle spin jitter (simulator.cpp),
+    // never a timed wakeup — so untimed traces stay byte-identical.
+    const std::uint64_t t0 = platform::now();
+    deadline_pause(kNoDeadline);
+    EXPECT_GE(platform::now(), t0 + g_costs.pause);
+    EXPECT_LT(platform::now(), t0 + g_costs.pause + 16);
+  });
+}
+
+// The same property end to end through SglLock::lock_until: a waiter
+// blocked on a held lock times out within one lock-word load of its
+// deadline — the expiry is discovered either by the load right after the
+// exact-deadline wakeup, or by a load that itself crossed the deadline —
+// never a whole pause quantum late, which is what this pins down.
+TEST(DeadlineWakeup, SglLockUntilTimesOutAtExactDeadline) {
+  SglLock gl;
+  std::uint64_t observed = 0, deadline = 0;
+  bool acquired = true;
+  sim::Simulator sim;
+  sim.run(2, [&](int tid) {
+    if (tid == 0) {
+      EXPECT_TRUE(gl.lock_until(kNoDeadline));
+      platform::advance(500'000);
+      gl.unlock();
+    } else {
+      platform::wait_until(10'000);  // the holder is certainly inside
+      deadline = platform::now() + 1'003;
+      acquired = gl.lock_until(deadline);
+      observed = platform::now();
+    }
+  });
+  EXPECT_FALSE(acquired);
+  EXPECT_GE(observed, deadline);
+  EXPECT_LE(observed, deadline + g_costs.load)
+      << "timeout drifted off the deadline-keyed wakeup";
+}
+
 // Concurrency stress on REAL threads (the TSan CI leg: -R
 // 'TimeoutRealThread'): timed readers with an always-expiring budget and a
 // comfortable one racing writer revocations over the bravo table, under
