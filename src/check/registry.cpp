@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/sprwl.h"
+#include "dist/lock_service.h"
 #include "locks/brlock.h"
 #include "locks/mcs_rwlock.h"
 #include "locks/passive_rwlock.h"
@@ -55,6 +56,7 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
           "SpRWL-sharded", "SpRWL-bravo", "SpRWL-timeout", "SpRWL-mvcc",
+          "SpRWL-lease",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
@@ -79,6 +81,24 @@ core::Config mvcc_cfg(const Workload& w) {
   // Drive the snapshot path itself, not the HTM-first reader shortcut.
   c.reader_htm_first = false;
   c.snapshot_readers = true;
+  return c;
+}
+
+// The distributed tier's lease + seqlock protocol (dist/lock_service.h).
+// One node per checker thread, so every write is a full cross-node lease
+// handoff (grant -> claim -> publish -> release) and readers are always
+// remote optimists. The term is effectively infinite: controlled
+// scheduling ignores clocks, so the virtual-time expiry fence is not
+// sound here (DESIGN.md §15) — handoff is by explicit release, and the
+// checker's target is the grant serialization and the seqlock protocol.
+dist::LeasedLock::Config lease_cfg(const Workload& w) {
+  dist::LeasedLock::Config c;
+  c.topology = sim::Topology::split_nodes(w.threads, w.threads);
+  c.max_threads = w.threads;
+  c.lease.term = ~0ULL / 2;
+  c.lease.backoff_base = 64;
+  c.lease.backoff_max = 256;
+  c.local = core::Config::variant(core::SchedulingVariant::kFull, w.threads);
   return c;
 }
 
@@ -184,6 +204,21 @@ RunFn make_runner(const std::string& name, const Workload& w) {
     // too-new read — so the run validates the SI checker specifically.
     sw.cells = 1;
     return bind(sw, [sw] { return core::SpRWLock(mvcc_cfg(sw)); });
+  }
+  if (name == "SpRWL-lease") {
+    return bind(w, [w] { return dist::LeasedLock(lease_cfg(w)); });
+  }
+  if (name == "SpRWL-lease-broken") {
+    // Stale-lease-read self-validation: the optimistic reader skips the
+    // version re-validation after its copy, so a read straddling a claim/
+    // publish window is accepted — the torn/stale observation the lease
+    // tier's whole read protocol exists to reject. Accepted by make_runner
+    // only, never listed as healthy.
+    return bind(w, [w] {
+      dist::LeasedLock::Config c = lease_cfg(w);
+      c.broken_skip_read_validation = true;
+      return dist::LeasedLock(c);
+    });
   }
   if (name == "SpRWL-sharded-broken") {
     // The broken-scan self-validation under the hierarchical layout: the

@@ -57,6 +57,14 @@ struct CostModel {
   /// >= 2 sockets is configured, so it too is invisible by default.
   std::uint64_t remote_socket = 0;
   std::uint64_t remote_cross = 100;
+  /// Extra for a cross-node transfer (sim::Topology with >= 2 nodes): a
+  /// one-sided RDMA-class read pulling the line over the fabric. ~600 extra
+  /// cycles ≈ 1.5-2 us round trips at 2 GHz amortized over warm NIC state,
+  /// an order of magnitude past remote_cross — the gap the distributed
+  /// tier's leases and version-validated read caching exist to hide. Only
+  /// applies when a multi-node topology is configured, so it is invisible
+  /// by default (single-node runs stay bit-exact).
+  std::uint64_t remote_node = 600;
   double ghz = 2.0;  ///< virtual clock frequency, for tx/s
 };
 

@@ -36,6 +36,8 @@ enum class SchedKind : std::uint8_t {
   kWriteEnter,  ///< write critical section entered
   kWriteBody,   ///< inside the write critical section
   kWriteExit,   ///< write body done, lock not yet released
+  kLeaseRenew,  ///< dist lease acquire/renew decision point (src/dist/)
+  kLeaseExpire, ///< dist lease expiry observed / grant-over-expired decision
   kApi,         ///< lock API boundary (acquire/release call)
 };
 
@@ -50,6 +52,8 @@ inline const char* to_string(SchedKind k) noexcept {
     case SchedKind::kWriteEnter: return "write-enter";
     case SchedKind::kWriteBody: return "write-body";
     case SchedKind::kWriteExit: return "write-exit";
+    case SchedKind::kLeaseRenew: return "lease-renew";
+    case SchedKind::kLeaseExpire: return "lease-expire";
     case SchedKind::kApi: return "api";
   }
   return "?";

@@ -65,6 +65,51 @@ FaultPlan FaultPlan::chaos(std::uint64_t seed, int threads,
   return plan;
 }
 
+FaultPlan FaultPlan::chaos_nodes(std::uint64_t seed, std::uint64_t horizon,
+                                 const sim::Topology& topo) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.topology = topo;
+  std::uint64_t sm = seed ^ 0xd15717eadbeefca5ULL;
+  Rng rng(splitmix64(sm));
+  const auto nodes = static_cast<std::uint64_t>(topo.nodes < 1 ? 1 : topo.nodes);
+
+  // One node crash-stops somewhere in the first half of the run, leaving
+  // its lease (if it holds one) to expire and its payloads possibly torn.
+  NodeCrashSpec crash;
+  crash.node = static_cast<int>(rng.next_below(nodes));
+  crash.at = pick(rng, horizon / 8, horizon / 2);
+  plan.crashes.push_back(crash);
+
+  // Usually also a partition against a *different* node: its renewal
+  // traffic stalls long enough to lose the lease, exercising the
+  // stale-holder fence rather than the crash path.
+  if (nodes > 1 && rng.next_bool(0.7)) {
+    PartitionSpec part;
+    part.node = static_cast<int>((static_cast<std::uint64_t>(crash.node) + 1 +
+                                  rng.next_below(nodes - 1)) %
+                                 nodes);
+    part.from = pick(rng, 0, horizon / 2);
+    part.until = part.from + pick(rng, horizon / 8, horizon / 3);
+    plan.partitions.push_back(part);
+  }
+
+  // A few preemptions aimed at the lease windows so renew/expire decisions
+  // interleave with reads and writes in flight.
+  const int n_preempts = static_cast<int>(pick(rng, 1, 3));
+  for (int i = 0; i < n_preempts; ++i) {
+    PreemptSpec s;
+    s.point = rng.next_bool(0.5) ? InjectPoint::kLeaseRenew
+                                 : InjectPoint::kLeaseExpire;
+    s.tid = -1;
+    s.not_before = pick(rng, 0, horizon / 2);
+    s.duration = pick(rng, horizon / 64, horizon / 16);
+    s.count = static_cast<int>(pick(rng, 1, 2));
+    plan.preempts.push_back(s);
+  }
+  return plan;
+}
+
 FaultInjector::FaultInjector(FaultPlan plan, sim::Simulator* sim,
                              htm::Engine* engine)
     : plan_(std::move(plan)), sim_(sim), engine_(engine) {
@@ -74,6 +119,10 @@ FaultInjector::FaultInjector(FaultPlan plan, sim::Simulator* sim,
   for (int i = 0; i < n; ++i) rngs_.emplace_back(splitmix64(sm));
   if (engine_ != nullptr) base_rate_ = engine_->spurious_abort_rate();
   jittered_.assign(static_cast<std::size_t>(n), false);
+  crashed_.assign(
+      static_cast<std::size_t>(plan_.topology.nodes < 1 ? 1
+                                                        : plan_.topology.nodes),
+      false);
 }
 
 void FaultInjector::apply_storm(std::uint64_t now) {
@@ -152,11 +201,48 @@ void FaultInjector::apply_syscalls(InjectPoint p, std::uint64_t now, int tid) {
   }
 }
 
+void FaultInjector::apply_crashes(std::uint64_t now, int tid) {
+  if (plan_.crashes.empty() || tid < 0) return;
+  const int node = plan_.topology.node_of(tid);
+  for (NodeCrashSpec& s : plan_.crashes) {
+    if (s.fired || s.node != node || now < s.at) continue;
+    s.fired = true;
+    ++stats_.node_crashes;
+    if (s.node >= 0 && s.node < static_cast<int>(crashed_.size())) {
+      crashed_[static_cast<std::size_t>(s.node)] = true;
+    }
+  }
+  if (!node_is_crashed(node)) return;
+  // Crash-stop: the fiber dies here — but never from inside a transaction.
+  // A context switch on real hardware would abort the transaction first and
+  // leave memory at its pre-transaction state; modelling that as an abort
+  // lets the engine unwind cleanly, and the fiber dies at the retry path's
+  // next (non-transactional) checkpoint.
+  if (engine_ != nullptr && engine_->in_tx()) {
+    throw htm::AbortException(htm::AbortCause::kSpurious, 0);
+  }
+  ++stats_.crash_kills;
+  throw NodeCrashed{node};
+}
+
+std::uint64_t FaultInjector::partition_heal_time(int node,
+                                                 std::uint64_t now) noexcept {
+  for (const PartitionSpec& s : plan_.partitions) {
+    if (s.node != node || s.until <= s.from) continue;
+    if (now >= s.from && now < s.until) {
+      ++stats_.partition_stalls;
+      return s.until;
+    }
+  }
+  return 0;
+}
+
 void FaultInjector::on_point(InjectPoint p) {
   const std::uint64_t now = platform::now();
   const int tid = platform::thread_id();
   apply_storm(now);
   apply_jitter(now, tid);
+  apply_crashes(now, tid);
   apply_preempts(p, now, tid);
   apply_syscalls(p, now, tid);
 }

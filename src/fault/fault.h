@@ -59,6 +59,13 @@ enum class InjectPoint : std::uint8_t {
   kWriteEnter,
   kWriteBody,
   kWriteExit,
+  /// Distributed-tier lease decision points (src/dist/lease.h): emitted at
+  /// every acquire/renew attempt and at every expiry observation
+  /// (grant-over-expired, renewal rejection), so DFS/PCT interleave lease
+  /// handoffs like any other lock-API hook and node faults land exactly in
+  /// the renewal/expiry windows.
+  kLeaseRenew,
+  kLeaseExpire,
 };
 
 inline const char* to_string(InjectPoint p) noexcept {
@@ -69,6 +76,8 @@ inline const char* to_string(InjectPoint p) noexcept {
     case InjectPoint::kWriteEnter: return "write-enter";
     case InjectPoint::kWriteBody: return "write-body";
     case InjectPoint::kWriteExit: return "write-exit";
+    case InjectPoint::kLeaseRenew: return "lease-renew";
+    case InjectPoint::kLeaseExpire: return "lease-expire";
   }
   return "?";
 }
@@ -111,6 +120,38 @@ struct CapacityJitterSpec {
   double max_scale = 1.0;
 };
 
+/// Node-scoped crash-stop (distributed tier, src/dist/): at the first
+/// matching checkpoint executed at now() >= at by any fiber of `node`, the
+/// whole node dies — that fiber and every other fiber of the node raise
+/// NodeCrashed at their next non-transactional checkpoint. Nothing is
+/// cleaned up: a held lease is NOT released (it must expire in virtual
+/// time) and half-published payloads stay torn for the next holder's
+/// recovery to repair — exactly the crash-stop model lease protocols are
+/// specified against.
+struct NodeCrashSpec {
+  int node = 0;
+  std::uint64_t at = 0;  ///< earliest virtual time; fires once
+  bool fired = false;
+};
+
+/// Node-scoped partition: while now() is inside [from, until), messages
+/// between `node` and the lease service stall — the dist layer's
+/// acquire/renew paths consult FaultInjector::partition_heal_time() and
+/// wait out the heal, which is what pushes a renewal past its lease's
+/// expiry (the stale-holder fencing case). Inactive when until <= from.
+struct PartitionSpec {
+  int node = 0;
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+};
+
+/// Raised at a checkpoint by a fiber whose node crash-stopped. Deliberately
+/// NOT a std::exception: generic handlers must not swallow a crash — only
+/// the dist chaos/bench harnesses, which model per-node failure, catch it.
+struct NodeCrashed {
+  int node = 0;
+};
+
 /// A complete seeded fault schedule.
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -118,6 +159,12 @@ struct FaultPlan {
   std::vector<SyscallSpec> syscalls;
   AbortStormSpec storm;
   CapacityJitterSpec jitter;
+  /// Node-scoped events; only meaningful with a multi-node topology.
+  std::vector<NodeCrashSpec> crashes;
+  std::vector<PartitionSpec> partitions;
+  /// Maps fiber ids to nodes for the node-scoped events (defaults to a
+  /// single node, under which crashes/partitions target node 0 = everyone).
+  sim::Topology topology;
 
   /// Randomized chaos schedule over [0, horizon) for `threads` fibers:
   /// several preemptions at random points (biased toward reader bodies —
@@ -126,12 +173,22 @@ struct FaultPlan {
   /// Deterministic given the seed.
   static FaultPlan chaos(std::uint64_t seed, int threads,
                          std::uint64_t horizon);
+
+  /// Randomized node-scoped chaos over [0, horizon): one node crash at a
+  /// random time, usually a partition window against another node, plus a
+  /// few preemptions biased into lease renewal/expiry windows.
+  /// Deterministic given the seed.
+  static FaultPlan chaos_nodes(std::uint64_t seed, std::uint64_t horizon,
+                               const sim::Topology& topo);
 };
 
 struct FaultStats {
   std::uint64_t preemptions = 0;
   std::uint64_t syscalls = 0;
   std::uint64_t capacity_jitters = 0;
+  std::uint64_t node_crashes = 0;     ///< crash specs that fired
+  std::uint64_t crash_kills = 0;      ///< fibers killed by a node crash
+  std::uint64_t partition_stalls = 0; ///< dist ops stalled by a partition
   double peak_applied_rate = 0.0;  ///< highest storm rate actually applied
 };
 
@@ -150,6 +207,19 @@ class FaultInjector {
   /// must let that propagate, exactly as for any transactional access.
   void on_point(InjectPoint p);
 
+  /// True once a NodeCrashSpec for `node` has fired. The dist layer also
+  /// checks this directly (e.g. before serving a cross-node read from a
+  /// dead node's memory would make no sense to model).
+  bool node_is_crashed(int node) const noexcept {
+    return node >= 0 && node < static_cast<int>(crashed_.size()) &&
+           crashed_[static_cast<std::size_t>(node)];
+  }
+
+  /// Heal time of the partition currently stalling `node`'s service
+  /// messages, or 0 when none is active at `now`. Callers on the dist
+  /// renewal/acquire path wait_until() the heal, modelling the stalled RPC.
+  std::uint64_t partition_heal_time(int node, std::uint64_t now) noexcept;
+
   const FaultStats& stats() const noexcept { return stats_; }
   const FaultPlan& plan() const noexcept { return plan_; }
 
@@ -165,6 +235,7 @@ class FaultInjector {
   void apply_jitter(std::uint64_t now, int tid);
   bool apply_preempts(InjectPoint p, std::uint64_t now, int tid);
   void apply_syscalls(InjectPoint p, std::uint64_t now, int tid);
+  void apply_crashes(std::uint64_t now, int tid);
 
   FaultPlan plan_;
   sim::Simulator* sim_;
@@ -172,6 +243,7 @@ class FaultInjector {
   FaultStats stats_;
   std::vector<Rng> rngs_;          // one deterministic stream per thread
   std::vector<bool> jittered_;     // threads holding a jittered capacity
+  std::vector<bool> crashed_;      // nodes that crash-stopped
   double applied_rate_ = -1.0;     // last storm rate pushed to the engine
   double base_rate_ = 0.0;         // engine's configured rate at install
 
@@ -184,6 +256,10 @@ static_assert(static_cast<int>(SchedKind::kWriteExit) -
                       static_cast<int>(SchedKind::kReadEnter) ==
                   static_cast<int>(InjectPoint::kWriteExit),
               "SchedKind kReadEnter..kWriteExit must mirror InjectPoint");
+static_assert(static_cast<int>(SchedKind::kLeaseExpire) -
+                      static_cast<int>(SchedKind::kReadEnter) ==
+                  static_cast<int>(InjectPoint::kLeaseExpire),
+              "SchedKind kLeaseRenew/kLeaseExpire must mirror InjectPoint");
 
 /// Checkpoint hook called by lock implementations and chaos workloads.
 /// One predictable branch when no injector is installed. `obj` identifies
@@ -197,6 +273,17 @@ inline void checkpoint(InjectPoint p, const void* obj) {
   if (FaultInjector* f = FaultInjector::current()) f->on_point(p);
 }
 inline void checkpoint(InjectPoint p) { checkpoint(p, nullptr); }
+
+/// Dist-layer queries against the installed injector; benign no-ops when
+/// none is installed (the common, fault-free case).
+inline bool node_crashed(int node) noexcept {
+  FaultInjector* f = FaultInjector::current();
+  return f != nullptr && f->node_is_crashed(node);
+}
+inline std::uint64_t partition_heal(int node, std::uint64_t now) noexcept {
+  FaultInjector* f = FaultInjector::current();
+  return f != nullptr ? f->partition_heal_time(node, now) : 0;
+}
 
 /// RAII installer, mirroring htm::EngineScope / trace::TracerScope.
 class FaultScope {

@@ -43,7 +43,8 @@ Engine::Engine(EngineConfig cfg)
   line_id_limit_ = 1u << (id_bits - 1);
   line_keys_ = std::vector<std::atomic<std::uint64_t>>(1ULL << id_bits);
   line_ids_ = std::vector<std::atomic<std::uint32_t>>(1ULL << id_bits);
-  track_owners_ = cfg.track_line_owners || cfg.topology.sockets > 1;
+  track_owners_ =
+      cfg.track_line_owners || cfg.topology.sockets > 1 || cfg.topology.nodes > 1;
   if (track_owners_) {
     owners_ = std::vector<std::atomic<std::uint32_t>>(1ULL << cfg.table_bits);
   }
@@ -146,7 +147,16 @@ std::uint64_t Engine::coherence_extra(std::uint32_t line) noexcept {
   if (prev == self_id) return 0;  // local hit
   slot.store(self_id, std::memory_order_relaxed);
   if (prev == 0) return 0;  // first touch: the line is born local
-  if (cfg_.topology.same_socket(static_cast<int>(prev) - 1, tid)) {
+  const int prev_tid = static_cast<int>(prev) - 1;
+  if (!cfg_.topology.same_node(prev_tid, tid)) {
+    // Fabric hop: the line's last toucher lives on another node. There is
+    // no cache coherence across nodes — this prices the one-sided remote
+    // read the dist tier issues; protocol-level safety (versions, leases)
+    // is the caller's problem (src/dist/).
+    node_transfers_.fetch_add(1, std::memory_order_relaxed);
+    return g_costs.remote_node;
+  }
+  if (cfg_.topology.same_socket(prev_tid, tid)) {
     socket_transfers_.fetch_add(1, std::memory_order_relaxed);
     return g_costs.remote_socket;
   }
@@ -820,6 +830,7 @@ EngineStats Engine::stats() const {
   s.publish_drains = drains_.load(std::memory_order_relaxed);
   s.socket_transfers = socket_transfers_.load(std::memory_order_relaxed);
   s.cross_transfers = cross_transfers_.load(std::memory_order_relaxed);
+  s.node_transfers = node_transfers_.load(std::memory_order_relaxed);
   s.version_overflows = overflows_.load(std::memory_order_relaxed);
   return s;
 }
@@ -835,6 +846,7 @@ void Engine::reset_stats() {
   drains_.store(0, std::memory_order_relaxed);
   socket_transfers_.store(0, std::memory_order_relaxed);
   cross_transfers_.store(0, std::memory_order_relaxed);
+  node_transfers_.store(0, std::memory_order_relaxed);
   overflows_.store(0, std::memory_order_relaxed);
 }
 

@@ -542,6 +542,7 @@ class Engine {
   std::atomic<std::uint64_t> overflows_{0};
   std::atomic<std::uint64_t> socket_transfers_{0};
   std::atomic<std::uint64_t> cross_transfers_{0};
+  std::atomic<std::uint64_t> node_transfers_{0};
   std::vector<std::unique_ptr<Descriptor>> descriptors_;
 
   static std::atomic<Engine*> g_current;

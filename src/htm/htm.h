@@ -131,11 +131,14 @@ struct EngineStats {
   /// (the strong-isolation drain; see engine.h).
   std::uint64_t publish_drains = 0;
   /// Line ownership migrations observed while owner tracking is on (zero
-  /// otherwise): transfers between cores of one socket and across sockets.
-  /// The NUMA benchmark reads these to attribute virtual-time differences
-  /// to coherence traffic rather than algorithmic work.
+  /// otherwise): transfers between cores of one socket, across sockets, and
+  /// across nodes (the RDMA-priced fabric hop; only with a multi-node
+  /// sim::Topology). The NUMA and distributed benchmarks read these to
+  /// attribute virtual-time differences to coherence traffic rather than
+  /// algorithmic work.
   std::uint64_t socket_transfers = 0;
   std::uint64_t cross_transfers = 0;
+  std::uint64_t node_transfers = 0;
   /// MVCC (EngineConfig::retain_versions > 0, zero otherwise):
   /// snapshot reads served from the version ring (the line was newer than
   /// the reader's pin and the old value was found) vs. misses (the needed

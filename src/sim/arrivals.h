@@ -44,6 +44,10 @@ enum class ArrivalProcess : std::uint8_t {
   kBursty,   ///< on/off modulated Poisson: rate alternates between
              ///< burst_multiplier * rate (on) and a compensating low rate
              ///< (off) so the long-run mean stays `rate`
+  kDiurnal,  ///< sinusoidally modulated Poisson: rate(t) = rate * (1 +
+             ///< diurnal_amplitude * sin(2π t / diurnal_period)) — the
+             ///< smooth day/night swing of production traffic, with the
+             ///< long-run mean staying `rate` over whole periods
 };
 
 struct Request {
@@ -65,6 +69,11 @@ struct ArrivalConfig {
   std::uint64_t burst_on = 400'000;
   std::uint64_t burst_off = 400'000;
   double burst_multiplier = 4.0;
+  /// Diurnal process shape: one full sinusoidal swing per period, peak at
+  /// rate * (1 + amplitude), trough at rate * (1 - amplitude). Amplitude
+  /// must lie in [0, 1] so the instantaneous rate stays nonnegative.
+  std::uint64_t diurnal_period = 2'000'000;
+  double diurnal_amplitude = 0.8;
 };
 
 /// Seeded arrival sequence, sorted by arrival time. Piecewise-constant-rate
@@ -80,6 +89,36 @@ inline std::vector<Request> generate_arrivals(const ArrivalConfig& cfg) {
     if (u <= 0) u = 0x1.0p-53;
     return -std::log(u) / rate;
   };
+
+  if (cfg.process == ArrivalProcess::kDiurnal) {
+    // Lewis–Shedler thinning against the peak rate: exact for an
+    // inhomogeneous Poisson process, and every candidate consumes a fixed
+    // number of RNG draws so the sequence is seed-reproducible.
+    if (cfg.diurnal_period == 0) {
+      throw std::invalid_argument("diurnal period must be nonzero");
+    }
+    if (!(cfg.diurnal_amplitude >= 0.0) || cfg.diurnal_amplitude > 1.0) {
+      throw std::invalid_argument("diurnal amplitude must be in [0, 1]");
+    }
+    const double two_pi = 2.0 * 3.14159265358979323846;
+    const double rate_max = cfg.rate * (1.0 + cfg.diurnal_amplitude);
+    std::vector<Request> out;
+    out.reserve(cfg.count);
+    double t = 0;
+    while (out.size() < cfg.count) {
+      t += exp_draw(rate_max);
+      const double phase =
+          two_pi * (t / static_cast<double>(cfg.diurnal_period));
+      const double r =
+          cfg.rate * (1.0 + cfg.diurnal_amplitude * std::sin(phase));
+      const double keep = rng.next_double();
+      if (keep * rate_max <= r) {
+        out.push_back(Request{static_cast<std::uint64_t>(t),
+                              rng.next_bool(cfg.writer_fraction)});
+      }
+    }
+    return out;
+  }
 
   double rate_on = cfg.rate;
   double rate_off = cfg.rate;

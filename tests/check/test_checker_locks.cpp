@@ -266,6 +266,60 @@ TEST(CheckerLocks, TimeoutBrokenCaughtWithDeterministicRepro) {
   std::remove(rep.artifact_path.c_str());
 }
 
+// The distributed-tier acceptance bar: 2-thread bounded-exhaustive DFS
+// over the lease variant (one node per thread, so every write is a full
+// cross-node lease handoff and the reader is a remote optimist running
+// the version-validated copy loop) terminates with no violation. The
+// lease term is effectively infinite here — controlled scheduling ignores
+// clocks, so expiry fencing is out of scope (DESIGN.md §15); what the
+// tree covers is grant serialization racing the seqlock claim/publish.
+TEST(CheckerLocks, AcceptanceDfsSpRWLLeaseTwoThreads) {
+  Workload w;
+  w.threads = 2;
+  w.writers = 1;
+  ExploreOptions opt;
+  const ExploreReport rep = explore_dfs(make_runner("SpRWL-lease", w), w, opt);
+  EXPECT_TRUE(rep.exhausted) << "DFS did not exhaust the bounded tree";
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_FALSE(rep.found_violation)
+      << to_string(rep.verdict.kind) << ": " << rep.verdict.detail;
+  ::testing::Test::RecordProperty(
+      "lease_dfs_schedules", static_cast<int>(rep.schedules));
+}
+
+// Self-validation for the optimistic-read validation: with the version
+// re-validation skipped, a reader whose copy straddles the writer's
+// claim/publish window accepts a torn observation — the stale-lease read
+// the dist tier's whole read protocol exists to reject. The checker must
+// catch it, ddmin must minimize it, and the artifact must round-trip and
+// replay deterministically, exactly like the other broken variants.
+TEST(CheckerLocks, LeaseBrokenValidationCaughtWithDeterministicRepro) {
+  const Workload w;
+  ExploreOptions opt;
+  opt.lock_name = "SpRWL-lease-broken";
+  opt.artifact_dir = ::testing::TempDir();
+  opt.seed = 123;
+  const RunFn run = make_runner("SpRWL-lease-broken", w);
+  const ExploreReport rep = explore_dfs(run, w, opt);
+
+  ASSERT_TRUE(rep.found_violation)
+      << "the checker missed the skipped read validation";
+  EXPECT_EQ(rep.verdict.kind, Verdict::kTorn) << rep.verdict.detail;
+  ASSERT_FALSE(rep.repro.empty());
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+
+  ASSERT_FALSE(rep.artifact_path.empty());
+  ReproArtifact a;
+  ASSERT_TRUE(read_artifact(rep.artifact_path, &a)) << rep.artifact_path;
+  EXPECT_EQ(a.lock, "SpRWL-lease-broken");
+  EXPECT_EQ(a.choices, rep.repro);
+  const Verdict from_file =
+      replay_trace(make_runner(a.lock, a.workload), a.choices);
+  EXPECT_EQ(from_file.kind, Verdict::kTorn) << from_file.detail;
+  std::remove(rep.artifact_path.c_str());
+}
+
 // Workload deadline fields survive the artifact round-trip (needed when a
 // repro is driven by explicit timed settings rather than a registry name
 // that re-applies them).

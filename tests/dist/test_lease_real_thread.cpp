@@ -1,0 +1,100 @@
+// Real-thread (TSan) stress for the lease tier: the simulator cannot be
+// followed by TSan, so these run on std::threads. The virtual-time expiry
+// fence is only sound under the simulator's min-time scheduling (DESIGN.md
+// §15), so the terms here are effectively infinite and ownership hands off
+// by explicit release — what this leg verifies is data-race freedom of the
+// grant/join/renew/validate/release state machine and of the LeasedLock
+// seqlock under genuine concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/platform.h"
+#include "common/rng.h"
+#include "dist/lease.h"
+#include "dist/lock_service.h"
+#include "fault/fault.h"
+#include "htm/engine.h"
+#include "htm/shared.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+
+#include "../support/seed_replay.h"
+
+namespace sprwl::dist {
+namespace {
+
+LeaseConfig real_thread_lease() {
+  LeaseConfig cfg;
+  cfg.term = ~0ULL / 2;  // no expiry: handoff is by explicit release only
+  cfg.backoff_base = 64;
+  cfg.backoff_max = 4'096;
+  return cfg;
+}
+
+TEST(LeaseRealThreadStress, ServiceStateMachineIsRaceFree) {
+  const std::uint64_t seed = fault::env_seed(42);
+  SCOPED_TRACE(testutil::seed_replay(seed));
+  LeaseService svc(real_thread_lease());
+  std::atomic<std::uint64_t> held{0};  // > 1 would mean two live holders
+  std::atomic<std::uint64_t> overlaps{0};
+  sim::run_real_threads(4, [&](int tid) {
+    const int node = tid;  // every thread its own node: pure contention
+    for (int i = 0; i < 200; ++i) {
+      const Lease l = svc.acquire(node);
+      ASSERT_TRUE(l.valid());
+      if (held.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        overlaps.fetch_add(1, std::memory_order_relaxed);
+      }
+      EXPECT_TRUE(svc.validate(l));
+      held.fetch_sub(1, std::memory_order_acq_rel);
+      svc.release(l);
+    }
+  });
+  EXPECT_EQ(overlaps.load(), 0u) << "two nodes held the lease at once";
+  EXPECT_EQ(svc.stats().grants.load(), 4u * 200u);
+}
+
+TEST(LeaseRealThreadStress, LeasedLockSeqlockPublishesConsistently) {
+  const std::uint64_t seed = fault::env_seed(42);
+  SCOPED_TRACE(testutil::seed_replay(seed));
+  htm::Engine engine;
+  htm::EngineScope scope(engine);
+  LeasedLock::Config cfg;
+  cfg.topology = sim::Topology::split_nodes(4, 2);
+  cfg.max_threads = 4;
+  cfg.lease = real_thread_lease();
+  LeasedLock lock(cfg);
+  struct alignas(64) Pair {
+    htm::Shared<std::uint64_t> a, b;
+  };
+  Pair p;
+  std::atomic<std::uint64_t> torn{0};
+  sim::run_real_threads(4, [&](int tid) {
+    Rng rng(static_cast<std::uint64_t>(tid) + seed);
+    for (int i = 0; i < 150; ++i) {
+      if (tid % 2 == 0) {
+        lock.write(1, [&] {
+          const std::uint64_t v = p.a.load() + 1;
+          p.a.store(v);
+          p.b.store(v);
+        });
+      } else {
+        std::uint64_t av = 0, bv = 0;
+        lock.read(0, [&] {
+          av = p.a.load();
+          bv = p.b.load();
+        });
+        if (av != bv) torn.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (rng.next_bool(0.1)) platform::pause();
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u) << "validated read observed a torn pair";
+  EXPECT_EQ(p.a.raw_load(), 2u * 150u);
+  EXPECT_EQ(p.b.raw_load(), p.a.raw_load());
+}
+
+}  // namespace
+}  // namespace sprwl::dist
