@@ -24,6 +24,9 @@
 //               seed-averaged, plus revocation latency (drain cycles per
 //               revocation) for bravo. Acceptance: bravo read-mostly mean
 //               throughput >= sharded at the sweep's thread count.
+//   numa_2s     2-socket column: global vs. per-socket-sharded BRAVO slot
+//               tables (bravo::Config::shard_by_socket) on a 2-socket
+//               split with line-owner tracking live, read-mostly.
 //   identity    bravo_bias=false with a ReaderTable *present* must emit
 //               rows byte-identical to plain SpRWL — the bravo machinery
 //               (bias word, lazy plane, table registration) is a strict
@@ -66,6 +69,16 @@ core::Config variant_cfg(const std::string& name, int threads) {
     bravo::ReaderTable::Config tc;
     tc.max_threads = threads;
     c.bravo_table = std::make_shared<bravo::ReaderTable>(tc);
+  } else if (name == "bravo-2s" || name == "bravo-numa-2s") {
+    // The 2-socket column: bias through a global slot array vs. per-socket
+    // shards (bravo::Config::shard_by_socket), both on a 2-socket split.
+    c.bravo_bias = true;
+    c.topology = sim::Topology::split(threads, 2);
+    bravo::ReaderTable::Config tc;
+    tc.max_threads = threads;
+    tc.topology = c.topology;
+    tc.shard_by_socket = name == "bravo-numa-2s";
+    c.bravo_table = std::make_shared<bravo::ReaderTable>(tc);
   } else if (name == "sharded") {
     c.socket_sharded_tracking = true;
     c.topology = sim::Topology::split(threads, 2);
@@ -96,12 +109,19 @@ workloads::LockTableRunResult run_point(const std::string& variant,
                                         std::uint64_t warmup,
                                         std::uint64_t measure,
                                         const Machine& m,
-                                        bool attach_unused_table = false) {
+                                        bool attach_unused_table = false,
+                                        int sockets = 1) {
   htm::EngineConfig ec;
   ec.capacity = m.capacity_at(threads);
   ec.max_threads = threads;
   ec.seed = seed;
   ec.table_bits = table_bits_for(keys);
+  if (sockets > 1) {
+    // The 2-socket column runs with the coherence model live, so remote
+    // slot-line traffic is actually priced.
+    ec.topology = sim::Topology::split(threads, sockets);
+    ec.track_line_owners = true;
+  }
   htm::Engine engine(ec);
   workloads::LockTable::Config tc;
   tc.keys = keys;
@@ -309,6 +329,56 @@ int run(int argc, char** argv) {
               "tx/s — parity: %s\n",
               rm_ur, p.sweep_threads, bravo_rm, sharded_rm,
               read_mostly_parity ? "yes" : "NO");
+  // --- 2-socket column ----------------------------------------------------
+  // Global vs. per-socket-sharded BRAVO tables on a 2-socket topology with
+  // line-owner tracking on, read-mostly: the sharded table keeps each
+  // socket's slot lines socket-local where the global table's hash spreads
+  // them across both.
+  struct Numa2sPoint {
+    std::string variant;
+    std::vector<std::pair<std::uint64_t, PointResult>> runs;
+    double mean_tx_s() const {
+      double s = 0;
+      for (const auto& r : runs) s += r.second.run.throughput_tx_s();
+      return runs.empty() ? 0 : s / static_cast<double>(runs.size());
+    }
+  };
+  const double numa_ur = p.update_ratios.front();
+  std::vector<Numa2sPoint> numa2s;
+  numa2s.reserve(2);
+  std::string numa2s_rows;
+  {
+    Runner runner(jobs);
+    for (const char* v : {"bravo-2s", "bravo-numa-2s"}) {
+      numa2s.emplace_back();
+      Numa2sPoint& pt = numa2s.back();
+      pt.variant = v;
+      for (const std::uint64_t seed : p.seeds) {
+        auto res = std::make_shared<PointResult>();
+        runner.submit_timed(
+            [&, v, seed, res] {
+              res->run = run_point(v, p.sweep_keys, p.sweep_threads, numa_ur,
+                                   seed, p.warmup_cycles, p.measure_cycles, m,
+                                   false, 2);
+            },
+            [&, v, seed, res](double ms) {
+              res->wall_ms = ms;
+              numa2s_rows += format_point(v, p.sweep_threads, numa_ur, seed,
+                                          res->run);
+              total_torn += res->run.invariant_failures;
+              pt.runs.emplace_back(seed, *res);
+            });
+      }
+    }
+    runner.drain();
+  }
+  std::fputs(numa2s_rows.c_str(), stdout);
+  const bool numa2s_sharded_wins =
+      numa2s[1].mean_tx_s() >= numa2s[0].mean_tx_s();
+  std::printf("2-socket column (ur=%.3f): sharded-table %.3e vs global %.3e "
+              "tx/s — sharded >= global: %s\n",
+              numa_ur, numa2s[1].mean_tx_s(), numa2s[0].mean_tx_s(),
+              numa2s_sharded_wins ? "yes" : "no");
   std::printf("invariant failures (torn reads) across all runs: %llu\n",
               static_cast<unsigned long long>(total_torn));
 
@@ -385,6 +455,26 @@ int run(int argc, char** argv) {
     j.end_object();
   }
   j.end_array();
+  j.key("numa_2s").begin_object();
+  j.key("update_ratio").value(numa_ur);
+  j.key("sockets").value(2);
+  j.key("runs").begin_array();
+  for (const Numa2sPoint& pt : numa2s) {
+    for (const auto& r : pt.runs) {
+      json_run(j, pt.variant, p.sweep_threads, numa_ur, r.first, r.second);
+    }
+  }
+  j.end_array();
+  j.key("means").begin_array();
+  for (const Numa2sPoint& pt : numa2s) {
+    j.begin_object();
+    j.key("variant").value(pt.variant);
+    j.key("mean_tx_s").value(pt.mean_tx_s());
+    j.end_object();
+  }
+  j.end_array();
+  j.key("sharded_table_wins").value(numa2s_sharded_wins);
+  j.end_object();
   j.key("invariant_failures").value(total_torn);
   j.key("bravo_off_identical").value(bravo_off_identical);
   j.key("footprint_10x").value(footprint_10x);

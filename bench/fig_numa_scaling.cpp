@@ -25,8 +25,16 @@
 //                throughput beats flat.
 //
 // A remote-cost sensitivity sweep (remote_cross in {50,100,200}) shows the
-// conclusions are not an artifact of one cost choice. `--smoke` shrinks
-// the sweep for CI. Exit status is non-zero if the identity check fails.
+// conclusions are not an artifact of one cost choice.
+//
+// A second sweep covers the BRAVO reader table (DESIGN.md §16): {global,
+// socket-sharded} slot layouts × {migratory, home-directory} ownership
+// models × sockets, read-mostly. Checks: the sharded table's mean
+// throughput is at least the global table's at every 2+-socket point
+// under both models (`bravo_sharded_beats_global`), and the 1-socket
+// home-directory rows are byte-identical to the migratory ones
+// (`bravo_identity_1socket`). `--smoke` shrinks every sweep for CI. Exit
+// status is non-zero if any identity or bravo acceptance check fails.
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -37,6 +45,7 @@
 #include "bench/support/hashmap_fig.h"
 #include "bench/support/json.h"
 #include "common/costs.h"
+#include "core/bravo.h"
 
 namespace sprwl::bench {
 namespace {
@@ -53,7 +62,8 @@ struct NumaRun {
 struct NumaPoint {
   int sockets = 1;
   int threads = 0;
-  std::string lock;  // "flat" | "sharded"
+  std::string lock;  // "flat" | "sharded" | "bravo-global" | "bravo-sharded"
+  std::string model = "migratory";  // CostModel::ownership during the run
   std::vector<NumaRun> runs;
 
   double mean_tx_s() const {
@@ -103,7 +113,12 @@ void numa_run(Runner& runner, const Machine& m, HashmapFigParams p,
             core::Config::variant(core::SchedulingVariant::kFull, n);
         c.topology = ec.topology;
         c.socket_sharded_tracking = sharded;
-        core::SpRWLock lock(c);
+        // Cache-aligned for the same reason workload pools use
+        // aligned_vector (common/aligned.h): Shared<> words embedded in
+        // the lock are charged by address, and a stack frame's offset
+        // mod 64 varies with ASLR — unaligned, the run would not be
+        // reproducible.
+        alignas(kCacheLineSize) core::SpRWLock lock(c);
         workloads::DriverConfig dc;
         dc.threads = n;
         dc.update_ratio = p.update_ratio;
@@ -132,11 +147,81 @@ void numa_run(Runner& runner, const Machine& m, HashmapFigParams p,
       });
 }
 
+/// Submits one BRAVO (sockets, table-layout, seed) run: the read-mostly
+/// hash-map workload under a bias-enabled SpRWLock whose ReaderTable is
+/// either one global slot array or per-socket shards
+/// (bravo::Config::shard_by_socket). The run inherits whatever
+/// g_costs.ownership is active when the batch executes — the caller owns
+/// setting/restoring the model around a drained batch.
+void bravo_run(Runner& runner, const Machine& m, HashmapFigParams p,
+               int sockets, int n, bool sharded_table, std::uint64_t seed,
+               const std::function<void(const std::string&)>& out,
+               const std::function<void(const NumaRun&)>& observe) {
+  p.seed = seed;
+  auto run = std::make_shared<NumaRun>();
+  run->seed = seed;
+  runner.submit(
+      [run, m, p, n, sockets, sharded_table] {
+        run->remote_cross = g_costs.remote_cross;
+        htm::EngineConfig ec;
+        ec.capacity = m.capacity_at(n);
+        ec.max_threads = n;
+        ec.seed = p.seed;
+        ec.topology = sim::Topology::split(n, sockets);
+        ec.track_line_owners = true;
+        htm::Engine engine(ec);
+        workloads::HashMap map = make_figure_map(p, n);
+        bravo::ReaderTable::Config bc;
+        bc.max_threads = n;
+        bc.topology = ec.topology;
+        bc.shard_by_socket = sharded_table;
+        auto table = std::make_shared<bravo::ReaderTable>(bc);
+        core::Config c =
+            core::Config::variant(core::SchedulingVariant::kFull, n);
+        c.topology = ec.topology;
+        c.reader_htm_first = false;
+        c.bravo_bias = true;
+        c.bravo_table = table;
+        // Cache-aligned (see numa_run): the bias fast path charges the
+        // lock's embedded bias word on every read, so an ASLR-shifted
+        // stack frame would perturb line grouping and break run-to-run
+        // bit determinism.
+        alignas(kCacheLineSize) core::SpRWLock lock(c);
+        workloads::DriverConfig dc;
+        dc.threads = n;
+        dc.update_ratio = p.update_ratio;
+        dc.lookups_per_read = p.lookups_per_read;
+        dc.key_space = p.key_space;
+        dc.warmup_cycles = p.warmup_cycles;
+        dc.measure_cycles = p.measure_cycles;
+        dc.seed = p.seed;
+        sim::Simulator sim;
+        run->run = run_hashmap(sim, engine, lock, map, dc);
+        run->scan_cycles = lock.commit_scan_cycles();
+        run->scans = lock.commit_scan_count();
+      },
+      [run, sharded_table, sockets, n, out, observe] {
+        if (out) {
+          const workloads::RunResult& r = run->run;
+          const Breakdown b =
+              make_breakdown(r.engine_stats, r.lock_stats, r.reader_aborts);
+          const std::string name =
+              std::string(sharded_table ? "bshard" : "bglob") + "/" +
+              std::to_string(sockets) + "s";
+          out(format_series_row(name.c_str(), n, r.throughput_tx_s(), b,
+                                r.read_latency.mean(),
+                                r.write_latency.mean()));
+        }
+        if (observe) observe(*run);
+      });
+}
+
 void json_point(JsonWriter& j, const NumaPoint& pt) {
   j.begin_object();
   j.key("sockets").value(pt.sockets);
   j.key("threads").value(pt.threads);
   j.key("lock").value(pt.lock);
+  j.key("model").value(pt.model);
   j.key("mean_tx_s").value(pt.mean_tx_s());
   j.key("mean_scan_cycles").value(pt.mean_scan_cycles());
   j.key("scan_cycles_per_scan").value(pt.mean_scan_cycles_per_scan());
@@ -150,6 +235,7 @@ void json_point(JsonWriter& j, const NumaPoint& pt) {
     j.key("scans").value(r.scans);
     j.key("socket_transfers").value(r.run.engine_stats.socket_transfers);
     j.key("cross_transfers").value(r.run.engine_stats.cross_transfers);
+    j.key("invalidations").value(r.run.engine_stats.invalidations);
     j.key("reader_aborts").value(r.run.reader_aborts);
     j.end_object();
   }
@@ -279,6 +365,81 @@ int run(int argc, char** argv) {
     }
   }
 
+  // BRAVO table-layout sweep: {global, socket-sharded} ReaderTable ×
+  // {migratory, home-directory} ownership × sockets, read-mostly so the
+  // bias fast path (slot publish/clear) carries the traffic. The global
+  // table hashes every thread over one shared slot array, so at 2+ sockets
+  // its slot lines ping-pong across sockets under either ownership model;
+  // the sharded table confines each socket's readers to socket-local slot
+  // lines and the writer's drain to one summary line per clean shard.
+  // g_costs.ownership is process-global, so each model gets its own
+  // drained batch. The first-seed 1-socket rows are collected per model:
+  // home-directory prices only cross-socket sharing, so on one socket it
+  // must reproduce the migratory rows byte for byte.
+  const int bt = smoke ? 8 : 32;
+  HashmapFigParams bp = p;
+  bp.update_ratio = 0.02;
+  // Short read sections (one lookup, ~8-node chains): the data-line cost is
+  // identical across table layouts, so shrinking it makes the slot-line
+  // traffic — the thing the layouts differ in — first-order instead of
+  // noise under the long-chain figure geometry.
+  bp.lookups_per_read = 1;
+  bp.buckets = 4096;
+  std::vector<NumaPoint> bravo;
+  bravo.reserve(sockets.size() * 2 * 2);
+  std::string bravo_rows[2];  // [0]=migratory, [1]=home-directory, 1-socket
+  {
+    const CostModel::OwnershipModel def_model = g_costs.ownership;
+    for (const int mi : {0, 1}) {
+      g_costs.ownership =
+          mi == 0 ? CostModel::kMigratory : CostModel::kHomeDirectory;
+      const char* model = mi == 0 ? "migratory" : "home-directory";
+      std::string* id_rows = &bravo_rows[mi];
+      Runner runner(jobs);
+      for (const int s : sockets) {
+        for (const bool sharded : {false, true}) {
+          bravo.emplace_back();
+          NumaPoint& pt = bravo.back();
+          pt.sockets = s;
+          pt.threads = bt;
+          pt.lock = sharded ? "bravo-sharded" : "bravo-global";
+          pt.model = model;
+          for (const std::uint64_t seed : seeds) {
+            std::function<void(const std::string&)> out;
+            if (s == 1 && seed == seeds.front())
+              out = [id_rows](const std::string& r) { *id_rows += r; };
+            bravo_run(runner, m, bp, s, bt, sharded, seed, out,
+                      [&pt](const NumaRun& r) { pt.runs.push_back(r); });
+          }
+        }
+      }
+      runner.drain();
+    }
+    g_costs.ownership = def_model;
+  }
+  const bool bravo_identity = bravo_rows[0] == bravo_rows[1];
+  std::printf("\n%-14s %-14s %2s | %12s | %14s\n", "bravo table", "model",
+              "s", "mean tx/s", "scan cyc/scan");
+  for (const NumaPoint& pt : bravo) {
+    std::printf("%-14s %-14s %2d | %12.4e | %14.1f\n", pt.lock.c_str(),
+                pt.model.c_str(), pt.sockets, pt.mean_tx_s(),
+                pt.mean_scan_cycles_per_scan());
+  }
+  std::printf("1-socket home-directory rows identical to migratory: %s\n",
+              bravo_identity ? "yes" : "NO — MODEL NOT A 1-SOCKET NO-OP");
+  bool bravo_wins = true;
+  for (const NumaPoint& g : bravo) {
+    if (g.lock != "bravo-global" || g.sockets < 2) continue;
+    for (const NumaPoint& sh : bravo) {
+      if (sh.lock == "bravo-sharded" && sh.sockets == g.sockets &&
+          sh.model == g.model && sh.mean_tx_s() < g.mean_tx_s())
+        bravo_wins = false;
+    }
+  }
+  std::printf(
+      "sharded bravo beats global at >=2 sockets, both models:  %s\n",
+      bravo_wins ? "yes" : "no");
+
   // Acceptance summary over the multi-socket points at 32+ threads. The
   // scan-reduction check additionally requires ceil(threads/8) > sockets:
   // when the flat scan covers every thread in no more lines than there are
@@ -327,15 +488,20 @@ int run(int argc, char** argv) {
   j.key("sensitivity").begin_array();
   for (const NumaPoint& pt : sens) json_point(j, pt);
   j.end_array();
+  j.key("bravo_points").begin_array();
+  for (const NumaPoint& pt : bravo) json_point(j, pt);
+  j.end_array();
   j.key("scan_reduced_at_multi_socket").value(any_32t ? scan_reduced : true);
   j.key("sharded_beats_flat_at_32t").value(any_32t ? crossover : true);
+  j.key("bravo_identity_1socket").value(bravo_identity);
+  j.key("bravo_sharded_beats_global").value(bravo_wins);
   j.end_object();
   if (!j.write_file("BENCH_numa.json")) {
     std::fprintf(stderr, "failed to write BENCH_numa.json\n");
     return 2;
   }
   std::printf("wrote BENCH_numa.json\n");
-  return identical ? 0 : 1;
+  return identical && bravo_identity && bravo_wins ? 0 : 1;
 }
 
 }  // namespace

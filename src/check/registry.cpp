@@ -44,6 +44,27 @@ core::Config bravo_cfg(const Workload& w, std::size_t slots) {
   return c;
 }
 
+core::Config bravo_numa_cfg(const Workload& w, std::size_t per_shard_slots) {
+  core::Config c = sprwl_cfg(w);
+  c.bravo_bias = true;
+  // Uninstrumented readers so the sharded-table protocol — per-socket slot
+  // publish, summary bump, summary-gated revocation drain — is actually
+  // driven on every schedule instead of being bypassed by HTM-first reads.
+  c.reader_htm_first = false;
+  // Fresh per-schedule table (see bravo_cfg), socket-sharded over a
+  // 2-socket split of the checker threads: with 2 threads, tid 0 (the
+  // workload's reader) homes on socket 0 and tid 1 (the writer) on socket
+  // 1, so the drain's clean-shard summary skip of a REMOTE shard is on the
+  // critical path of every revocation the checker explores.
+  bravo::ReaderTable::Config tc;
+  tc.max_threads = w.threads;
+  tc.slots = per_shard_slots;
+  tc.shard_by_socket = true;
+  tc.topology = sim::Topology::split(w.threads, 2);
+  c.bravo_table = std::make_shared<bravo::ReaderTable>(tc);
+  return c;
+}
+
 template <class MakeLock>
 RunFn bind(const Workload& w, MakeLock make_lock) {
   return [w, make_lock](sim::SchedulePolicy& policy) {
@@ -55,8 +76,8 @@ RunFn bind(const Workload& w, MakeLock make_lock) {
 
 std::vector<std::string> checked_locks() {
   return {"SpRWL",  "SpRWL-unins", "SpRWL-vsgl", "SpRWL-snzi",
-          "SpRWL-sharded", "SpRWL-bravo", "SpRWL-timeout", "SpRWL-mvcc",
-          "SpRWL-lease",
+          "SpRWL-sharded", "SpRWL-bravo", "SpRWL-bravo-numa",
+          "SpRWL-timeout", "SpRWL-mvcc", "SpRWL-lease",
           "TLE",    "RW-LE",       "RWL",        "BRLock",
           "PhaseFair", "MCS-RW",   "PRWL"};
 }
@@ -149,6 +170,25 @@ RunFn make_runner(const std::string& name, const Workload& w) {
       core::Config c = bravo_cfg(w, 1);
       c.reader_htm_first = false;
       c.broken_revoke_skip_last_slot = true;
+      return core::SpRWLock(c);
+    });
+  }
+  if (name == "SpRWL-bravo-numa") {
+    // Socket-sharded reader table (4 slots per shard, each shard + summary
+    // on its own line): the checker drives fast-path publishes against the
+    // summary-gated drain, including the Dekker race between a reader's
+    // summary bump and the writer's clean-shard skip.
+    return bind(w, [w] { return core::SpRWLock(bravo_numa_cfg(w, 4)); });
+  }
+  if (name == "SpRWL-bravo-numa-broken") {
+    // Sharded-drain self-validation: the revocation drain skips shard 0 —
+    // summary and slots — so the socket-0 reader's fast-path registration
+    // survives revocation and a writer commits over its snapshot (the
+    // workload keeps tid 0 a reader; split(threads, 2) homes it on socket
+    // 0). Accepted by make_runner only, never listed as healthy.
+    return bind(w, [w] {
+      core::Config c = bravo_numa_cfg(w, 1);
+      c.broken_revoke_skip_shard = 0;
       return core::SpRWLock(c);
     });
   }

@@ -19,6 +19,26 @@
 namespace sprwl {
 
 struct CostModel {
+  /// How line ownership is priced when the engine tracks owners.
+  ///
+  /// kMigratory (the default, and the only model before the home-directory
+  /// mode existed): the last accessor owns the line, so every access from a
+  /// different core pays the topology tier of a cache-to-cache transfer —
+  /// including read-after-read, which makes read-sharing bounce lines and
+  /// overstates cross-socket costs for reader-heavy workloads.
+  ///
+  /// kHomeDirectory: a line's home socket is its first toucher and the
+  /// engine keeps a per-line sharer-socket mask. A read from a socket not
+  /// yet in the mask charges one fetch-to-shared (remote_cross, or
+  /// remote_node across nodes) and joins the mask; subsequent reads from
+  /// that socket are free. A write charges one invalidation per *other*
+  /// sharing socket and collapses the mask to the writer — so read-mostly
+  /// sharing is cheap and the cost concentrates where the coherence traffic
+  /// really is: writers (e.g. the BRAVO revocation drain) invalidating
+  /// reader sockets.
+  enum OwnershipModel { kMigratory = 0, kHomeDirectory = 1 };
+  OwnershipModel ownership = kMigratory;
+
   std::uint64_t load = 8;        ///< one shared load (mostly-warm mix)
   std::uint64_t store = 10;      ///< one shared store
   std::uint64_t cas = 40;        ///< one read-modify-write

@@ -136,6 +136,20 @@ struct Config {
   /// sim::SimConfig::topology). The 1-socket default degenerates to one
   /// shard: a single summary word in front of the flat flags.
   sim::Topology topology{};
+  /// RSync-aligned reader batching (DESIGN.md §16): the reader-scheduling
+  /// scans visit per-socket state first and descend into a socket's flag
+  /// shard only when that socket can matter. writer_wait (Alg. 3) reads
+  /// each socket's one-word reader count and skips sockets whose count is
+  /// 0 — an idle remote socket costs one line read instead of
+  /// cores_per_socket flag reads. readers_wait (Alg. 2) reads each shard
+  /// line with one OR-summary load and scans per-word only where the OR
+  /// carries a writer bit (the reader-count summary cannot gate it:
+  /// writers advertise flags but are deliberately invisible to the reader
+  /// counts). Scheduling heuristics only — the waits target the same
+  /// writer/reader either way; the commit-time safety scan is unchanged.
+  /// Requires socket_sharded_tracking (the summaries and the socket-major
+  /// flag layout are what it batches over).
+  bool socket_batched_rsync = false;
   /// Expected duration, in cycles, used before the first sample arrives.
   std::uint64_t bootstrap_estimate = 500;
 
@@ -208,6 +222,13 @@ struct Config {
   /// slot makes every later revocation drain spin forever, which the
   /// checker must report as livelock. Never set in production.
   bool broken_timeout_skip_slot_release = false;
+  /// Checker self-validation ONLY (socket-sharded bravo tables): the
+  /// revocation drain skips this shard entirely — summary and slots — so a
+  /// fast-path reader registered on that (remote) socket survives
+  /// revocation and a writer can commit over it. The systematic checker
+  /// must catch the resulting atomicity violation. -1 = off; never set in
+  /// production.
+  int broken_revoke_skip_shard = -1;
 
   static Config variant(SchedulingVariant v, int max_threads) {
     Config c;
@@ -249,6 +270,12 @@ class SpRWLock {
           "SpRWLock: socket_sharded_tracking needs sockets * "
           "cores_per_socket >= max_threads (see sim::Topology::split)");
     }
+    if (cfg_.socket_batched_rsync && !cfg_.socket_sharded_tracking) {
+      throw std::invalid_argument(
+          "SpRWLock: Config::socket_batched_rsync requires "
+          "socket_sharded_tracking (it batches over the socket-major "
+          "flag shards and their summaries)");
+    }
     if (cfg_.adaptive_tracking) cfg_.use_snzi = false;  // mode_ decides
     if (cfg_.bravo_bias) {
       if (cfg_.bravo_table == nullptr) {
@@ -258,6 +285,18 @@ class SpRWLock {
       }
       lock_id_ = cfg_.bravo_table->register_lock();
       bias_.raw_store(kBiasOn);  // read-only cold locks never build a plane
+      if (cfg_.bravo_table->sharded()) {
+        // Per-shard revocation telemetry (DESIGN.md §16): EMA and cooldown
+        // anchor per table shard, so a saturated remote socket throttles
+        // only its own readers' re-bias, not the whole process. One lazily
+        // allocated block behind one pointer: only sharded-bravo locks
+        // pay, and a cold lock's shell carries a single null word for the
+        // million-lock footprint bench. The scratch member is the drain's
+        // per-shard cycle scratch — safe unsynchronized because the
+        // kBiasOn→kBiasRevoking CAS admits one drainer per lock at a time.
+        shard_revoke_ = std::make_unique<ShardRevoke[]>(
+            static_cast<std::size_t>(cfg_.bravo_table->shard_count()));
+      }
     }
   }
 
@@ -416,7 +455,7 @@ class SpRWLock {
     if (cfg_.reader_htm_first && try_reader_htm(f)) {
       trace::emit(trace::Event::kReadHtmCommit);
       htm_reads_.fetch_add(1, std::memory_order_relaxed);
-      if (cfg_.bravo_bias) maybe_rebias();
+      if (cfg_.bravo_bias) maybe_rebias(tid);
       return locks::AcquireResult::kAcquired;
     }
 
@@ -506,7 +545,7 @@ class SpRWLock {
       if (cfg_.adaptive_tracking) maybe_adapt(p, cs_id);
     }
     p.modes_.record_read(locks::CommitMode::kUnins);
-    if (cfg_.bravo_bias) maybe_rebias();
+    if (cfg_.bravo_bias) maybe_rebias(tid);
     return locks::AcquireResult::kAcquired;
   }
 
@@ -760,6 +799,17 @@ class SpRWLock {
   std::uint64_t rebias_count() const {
     return rebias_count_.load(std::memory_order_relaxed);
   }
+  /// Per-shard revocation-latency EMA (socket-sharded bravo tables only;
+  /// 0 = no sample yet, or the table is not sharded). The re-bias cooldown
+  /// a reader on `shard`'s socket observes is bravo_rebias_cooldown times
+  /// this.
+  std::uint64_t shard_revoke_ema(int shard) const {
+    if (shard_revoke_ == nullptr || shard < 0 ||
+        shard >= cfg_.bravo_table->shard_count()) {
+      return 0;
+    }
+    return shard_revoke_[shard].ema.load(std::memory_order_relaxed);
+  }
   /// Snapshot sections that completed against their pinned version.
   std::uint64_t snapshot_read_count() const {
     return snapshot_reads_.load(std::memory_order_relaxed);
@@ -798,6 +848,10 @@ class SpRWLock {
   /// (workloads report it separately).
   std::size_t footprint_bytes() const {
     std::size_t b = sizeof(*this);
+    if (shard_revoke_ != nullptr) {
+      b += static_cast<std::size_t>(cfg_.bravo_table->shard_count()) *
+           sizeof(ShardRevoke);
+    }
     if (const Plane* p = plane_peek()) b += p->bytes();
     return b;
   }
@@ -1010,6 +1064,20 @@ class SpRWLock {
     return static_cast<std::size_t>(s) * kFlagsPerLine;
   }
 
+  /// Inverse of state_slot: the tid owning a flag slot, or -1 for shard
+  /// padding (the batched scheduling scans walk slots line-wise and must
+  /// map hits back to threads). Verified against state_slot so the two
+  /// can never disagree on a layout corner case.
+  int tid_of_slot(std::size_t slot) const noexcept {
+    const int s = static_cast<int>(slot / socket_stride_);
+    const std::size_t local = slot % socket_stride_;
+    const int cps = cfg_.topology.cores_per_socket;
+    const int t = sockets_ > 1 && cps > 0
+                      ? s * cps + static_cast<int>(local)
+                      : static_cast<int>(local);
+    return t < cfg_.max_threads && state_slot(t) == slot ? t : -1;
+  }
+
   /// SNZI-style per-socket reader count: the zero/non-zero state of socket
   /// s's readers in one word on socket s's own line. A strong-isolation CAS
   /// loop — the arrival's version bump on this line is what aborts any
@@ -1060,14 +1128,14 @@ class SpRWLock {
     if (bias_.load() != kBiasOn) return BiasRead::kSlow;
     bravo::ReaderTable& table = *cfg_.bravo_table;
     const std::size_t slot = table.slot_of(lock_id_, tid);
-    if (!table.occupy(slot, lock_id_)) return BiasRead::kSlow;  // collision
+    if (!table.occupy(slot, lock_id_, tid)) return BiasRead::kSlow;  // collision
     htm::memory_fence();  // publish the slot before validating bias / SGL
     if (bias_.load() != kBiasOn || gl_.is_locked()) {
       // Dekker with the writer (publish-slot/check-bias vs
       // publish-revoking/scan-slots): losing the race here means the
       // writer's drain may already have passed our line, so back out and
       // register where the writer is looking.
-      table.release(slot);
+      table.release(slot, tid);
       return BiasRead::kSlow;
     }
     fault::checkpoint(fault::InjectPoint::kReadEnter, this);
@@ -1076,14 +1144,14 @@ class SpRWLock {
       // window). The slot is published, so the unwind MUST release it — a
       // leaked slot wedges every later revocation drain. The broken flag
       // skips exactly this release for the checker's self-validation.
-      if (!cfg_.broken_timeout_skip_slot_release) table.release(slot);
+      if (!cfg_.broken_timeout_skip_slot_release) table.release(slot, tid);
       return BiasRead::kTimeout;
     }
     trace::emit(trace::Event::kReadBiasEnter);
     {
       ScopeExit release([&] {
         htm::memory_fence();  // reads must complete before the slot clears
-        table.release(slot);
+        table.release(slot, tid);
         trace::emit(trace::Event::kReadBiasExit);
       });
       f();
@@ -1109,8 +1177,14 @@ class SpRWLock {
       if (b == kBiasOn && bias_.cas(kBiasOn, kBiasRevoking)) {
         htm::memory_fence();  // order the state change before the scan
         const std::uint64_t t0 = platform::now();
+        // The drain writes each shard's cycles into that shard's scratch
+        // word, striding over the interleaved {ema, last} telemetry.
+        std::uint64_t* cycles =
+            shard_revoke_ != nullptr ? &shard_revoke_[0].scratch : nullptr;
         if (!cfg_.bravo_table->wait_for_readers_of(
-                lock_id_, cfg_.broken_revoke_skip_last_slot, deadline)) {
+                lock_id_, cfg_.broken_revoke_skip_last_slot, deadline,
+                cfg_.broken_revoke_skip_shard, cycles,
+                sizeof(ShardRevoke) / sizeof(std::uint64_t))) {
           bias_.store(kBiasOn);  // re-arm: drain incomplete
           trace::emit(trace::Event::kBiasRevokeAbandoned);
           return false;
@@ -1126,6 +1200,21 @@ class SpRWLock {
         revoke_ema_hint_.store(prev == 0 ? dur : prev - prev / 8 + dur / 8,
                                std::memory_order_relaxed);
         last_revoke_end_.store(platform::now(), std::memory_order_relaxed);
+        if (cycles != nullptr) {
+          // Attribute the drain per shard: a clean remote shard samples ~one
+          // line read, a saturated one its full spin — so the cooldown each
+          // socket's readers see tracks the cost of revoking *their* shard.
+          const std::uint64_t end = platform::now();
+          const int n = cfg_.bravo_table->shard_count();
+          for (int s = 0; s < n; ++s) {
+            ShardRevoke& sr = shard_revoke_[s];
+            const std::uint64_t d = sr.scratch;
+            const std::uint64_t p = sr.ema.load(std::memory_order_relaxed);
+            sr.ema.store(p == 0 ? d : p - p / 8 + d / 8,
+                         std::memory_order_relaxed);
+            sr.last.store(end, std::memory_order_relaxed);
+          }
+        }
         return true;
       }
       if (locks::deadline_expired(deadline)) return false;
@@ -1140,15 +1229,24 @@ class SpRWLock {
   /// revocation-EMA cooldown has passed, re-arm the bias. The decision
   /// peeks raw state (uncharged heuristics); the flip itself is a charged
   /// strong-isolation CAS whose version bump aborts any writer whose
-  /// commit scan already subscribed the bias word.
-  void maybe_rebias() {
+  /// commit scan already subscribed the bias word. With a socket-sharded
+  /// table the cooldown consults the *reader's own shard's* revocation EMA
+  /// (recorded per shard by revoke_bias): a saturated remote socket whose
+  /// drain runs long throttles only its own readers, not this one.
+  void maybe_rebias(int tid) {
     const std::uint64_t streak =
         reader_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (streak < static_cast<std::uint64_t>(cfg_.bravo_rebias_reads)) return;
     if (bias_.raw_load() != kBiasOff) return;
-    const std::uint64_t last =
-        last_revoke_end_.load(std::memory_order_relaxed);
-    const std::uint64_t ema = revoke_ema_hint_.load(std::memory_order_relaxed);
+    std::uint64_t last, ema;
+    if (shard_revoke_ != nullptr) {
+      const int sh = cfg_.bravo_table->shard_of_tid(tid);
+      last = shard_revoke_[sh].last.load(std::memory_order_relaxed);
+      ema = shard_revoke_[sh].ema.load(std::memory_order_relaxed);
+    } else {
+      last = last_revoke_end_.load(std::memory_order_relaxed);
+      ema = revoke_ema_hint_.load(std::memory_order_relaxed);
+    }
     if (last != 0 && ema != 0) {
       const auto cool = static_cast<std::uint64_t>(
           cfg_.bravo_rebias_cooldown * static_cast<double>(ema));
@@ -1352,21 +1450,65 @@ class SpRWLock {
     int wait_for = -1;
     bool joined = false;
     std::uint64_t max_end = 0;
-    for (int t = 0; t < cfg_.max_threads; ++t) {
-      if (t == tid) continue;
-      const std::size_t s = static_cast<std::size_t>(t);
-      if (state_raw(p, t) == kWriter) {
-        const std::uint64_t end = p.clock_w_[s]->load(std::memory_order_relaxed);
-        if (wait_for == -1 || end > max_end) {
-          max_end = end;
-          wait_for = t;
+    if (cfg_.socket_batched_rsync) {
+      // Line-batched scan (DESIGN.md §16): one OR-summary load per shard
+      // line, per-word state reads only where the OR carries the writer
+      // bit — an idle socket costs stride/8 loads instead of
+      // cores_per_socket. The join probe (waiting_for_) has no flag the OR
+      // could gate, but it is an uncharged plain-atomic load, so the
+      // charged cost still drops from max_threads word reads to line
+      // reads + flagged writers.
+      for (int s = 0; s < sockets_ && !joined; ++s) {
+        const std::size_t base0 =
+            static_cast<std::size_t>(s) * socket_stride_;
+        for (std::size_t base = base0;
+             base < base0 + socket_stride_ && !joined;
+             base += kFlagsPerLine) {
+          const std::size_t count =
+              std::min(kFlagsPerLine, base0 + socket_stride_ - base);
+          const bool has_writer =
+              (htm::line_or_plain(&p.state_[base], count) & kWriter) != 0;
+          for (std::size_t sl = base; sl < base + count; ++sl) {
+            const int t = tid_of_slot(sl);
+            if (t < 0 || t == tid) continue;
+            const std::size_t ts = static_cast<std::size_t>(t);
+            if (has_writer && state_raw(p, t) == kWriter) {
+              const std::uint64_t end =
+                  p.clock_w_[ts]->load(std::memory_order_relaxed);
+              if (wait_for == -1 || end > max_end) {
+                max_end = end;
+                wait_for = t;
+              }
+            } else if (cfg_.reader_join) {
+              const int other =
+                  p.waiting_for_[ts]->load(std::memory_order_acquire);
+              if (other != -1) {
+                wait_for = other;  // align our start with that reader's
+                joined = true;
+                break;
+              }
+            }
+          }
         }
-      } else if (cfg_.reader_join) {
-        const int other = p.waiting_for_[s]->load(std::memory_order_acquire);
-        if (other != -1) {
-          wait_for = other;  // align our start with that reader's
-          joined = true;
-          break;
+      }
+    } else {
+      for (int t = 0; t < cfg_.max_threads; ++t) {
+        if (t == tid) continue;
+        const std::size_t s = static_cast<std::size_t>(t);
+        if (state_raw(p, t) == kWriter) {
+          const std::uint64_t end =
+              p.clock_w_[s]->load(std::memory_order_relaxed);
+          if (wait_for == -1 || end > max_end) {
+            max_end = end;
+            wait_for = t;
+          }
+        } else if (cfg_.reader_join) {
+          const int other = p.waiting_for_[s]->load(std::memory_order_acquire);
+          if (other != -1) {
+            wait_for = other;  // align our start with that reader's
+            joined = true;
+            break;
+          }
         }
       }
     }
@@ -1403,13 +1545,34 @@ class SpRWLock {
     if (pp == nullptr) return;
     Plane& p = *pp;
     std::uint64_t last_reader_end = 0;
-    for (int t = 0; t < cfg_.max_threads; ++t) {
-      if (t == tid) continue;
-      if (state_raw(p, t) == kReader) {
-        const std::uint64_t end =
-            p.clock_r_[static_cast<std::size_t>(t)]->load(
-                std::memory_order_relaxed);
-        if (end > last_reader_end) last_reader_end = end;
+    if (cfg_.socket_batched_rsync) {
+      // Summary-first (DESIGN.md §16): one load per socket's reader count;
+      // descend into a socket's flag shard only when it hosts a reader. An
+      // idle remote socket costs 1 line read instead of cores_per_socket.
+      // The count is exact for what this scan looks for — flag-mode
+      // readers are the only things that bump it and the only things that
+      // show kReader here (SNZI-mode readers appear in neither).
+      for (int s = 0; s < sockets_; ++s) {
+        if (p.socket_count_[socket_word(s)].load() == 0) continue;
+        for (int t = 0; t < cfg_.max_threads; ++t) {
+          if (t == tid || cfg_.topology.socket_of(t) != s) continue;
+          if (state_raw(p, t) == kReader) {
+            const std::uint64_t end =
+                p.clock_r_[static_cast<std::size_t>(t)]->load(
+                    std::memory_order_relaxed);
+            if (end > last_reader_end) last_reader_end = end;
+          }
+        }
+      }
+    } else {
+      for (int t = 0; t < cfg_.max_threads; ++t) {
+        if (t == tid) continue;
+        if (state_raw(p, t) == kReader) {
+          const std::uint64_t end =
+              p.clock_r_[static_cast<std::size_t>(t)]->load(
+                  std::memory_order_relaxed);
+          if (end > last_reader_end) last_reader_end = end;
+        }
       }
     }
     if (last_reader_end == 0) return;
@@ -1516,6 +1679,20 @@ class SpRWLock {
   std::atomic<std::uint64_t> reader_streak_{0};
   std::atomic<std::uint64_t> last_revoke_end_{0};
   std::atomic<std::uint64_t> revoke_ema_hint_{0};
+  // Per-table-shard revocation telemetry (socket-sharded bravo tables
+  // only, lazily sized from the table in the ctor; null otherwise so the
+  // cold-lock shell pays exactly one extra word). scratch is the
+  // revoker's drain scratch — exclusive because kBiasOn→kBiasRevoking
+  // admits one drainer per lock at a time; the drain writes it in place
+  // via wait_for_readers_of's stride.
+  struct ShardRevoke {
+    std::atomic<std::uint64_t> ema{0};   // shard's revocation-latency EMA
+    std::atomic<std::uint64_t> last{0};  // end of shard's last revocation
+    std::uint64_t scratch = 0;           // drain cycles, this revocation
+  };
+  static_assert(sizeof(ShardRevoke) == 3 * sizeof(std::uint64_t),
+                "drain strides over ShardRevoke as raw uint64 words");
+  std::unique_ptr<ShardRevoke[]> shard_revoke_;
   std::atomic<std::uint64_t> bias_reads_{0};
   std::atomic<std::uint64_t> snapshot_reads_{0};
   std::atomic<std::uint64_t> snapshot_fallbacks_{0};

@@ -1,6 +1,7 @@
 #include "htm/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "common/scope_exit.h"
@@ -138,10 +139,13 @@ void Engine::extend(Descriptor& d) {
   d.rv = new_rv;
 }
 
-std::uint64_t Engine::coherence_extra(std::uint32_t line) noexcept {
+std::uint64_t Engine::coherence_extra(std::uint32_t line, bool is_write) noexcept {
   const int tid = platform::thread_id();
   if (tid < 0) return 0;  // no dense id -> no socket; leave ownership alone
   std::atomic<std::uint32_t>& slot = owners_[line];
+  if (g_costs.ownership == CostModel::kHomeDirectory) {
+    return home_directory_extra(slot, tid, is_write);
+  }
   const std::uint32_t self_id = static_cast<std::uint32_t>(tid) + 1;
   const std::uint32_t prev = slot.load(std::memory_order_relaxed);
   if (prev == self_id) return 0;  // local hit
@@ -162,6 +166,56 @@ std::uint64_t Engine::coherence_extra(std::uint32_t line) noexcept {
   }
   cross_transfers_.fetch_add(1, std::memory_order_relaxed);
   return g_costs.remote_cross;
+}
+
+std::uint64_t Engine::home_directory_extra(std::atomic<std::uint32_t>& slot,
+                                           int tid, bool is_write) noexcept {
+  // Within a simulator run fibers are serialized at decision points and the
+  // real-thread stress suites only assert *counters*, never exact virtual
+  // time, so a plain load/modify/store on the owner word is sufficient —
+  // the same discipline the migratory leg uses.
+  const int socket = cfg_.topology.socket_of(tid);
+  const std::uint32_t bit = 1u << (socket % kSharerBits);
+  const std::uint32_t word = slot.load(std::memory_order_relaxed);
+  if (word == 0) {
+    // First touch: the line is born local and homed at the toucher's socket.
+    slot.store(kHomeTouchedBit |
+                   (static_cast<std::uint32_t>(socket % 128) << kSharerBits) |
+                   bit,
+               std::memory_order_relaxed);
+    return 0;
+  }
+  const std::uint32_t mask = word & kSharerMask;
+  const int home = static_cast<int>((word >> kSharerBits) & 0x7f);
+  if (!is_write) {
+    if ((mask & bit) != 0) return 0;  // this socket already shares the line
+    // Fetch-to-shared: one transfer joins the mask; later reads from this
+    // socket are free until a writer invalidates it. Priced against the
+    // line's home directory (fabric tier when home is on another node).
+    slot.store((word & ~kSharerMask) | mask | bit, std::memory_order_relaxed);
+    if (cfg_.topology.node_of_socket(home) !=
+        cfg_.topology.node_of_socket(socket)) {
+      node_transfers_.fetch_add(1, std::memory_order_relaxed);
+      return g_costs.remote_node;
+    }
+    cross_transfers_.fetch_add(1, std::memory_order_relaxed);
+    return g_costs.remote_cross;
+  }
+  // Write: invalidate every *other* sharing socket (one message each, fabric
+  // tier for sharers on other nodes), then the writer holds it exclusive.
+  // The home socket never moves — that is the directory point.
+  const std::uint32_t others = mask & ~bit;
+  slot.store((word & ~kSharerMask) | bit, std::memory_order_relaxed);
+  if (others == 0) return 0;
+  std::uint64_t extra = 0;
+  const int self_node = cfg_.topology.node_of_socket(socket);
+  for (int s = 0; s < kSharerBits; ++s) {
+    if ((others & (1u << s)) == 0) continue;
+    extra += cfg_.topology.node_of_socket(s) != self_node ? g_costs.remote_node
+                                                          : g_costs.remote_cross;
+  }
+  invalidations_.fetch_add(std::popcount(others), std::memory_order_relaxed);
+  return extra;
 }
 
 std::uint64_t Engine::tx_read(const std::atomic<std::uint64_t>& cell) {
@@ -400,7 +454,8 @@ void Engine::commit_publish_perline(Descriptor& d) {
     // here, so topology extras are charged per line inside the window.
     std::uint64_t extra = 0;
     if (track_owners_) {
-      for (const std::uint32_t line : lines) extra += coherence_extra(line);
+      for (const std::uint32_t line : lines)
+        extra += coherence_extra(line, /*is_write=*/true);
     }
     if (retain_ != 0) extra += g_costs.store * d.writes.size();  // the copies
     platform::advance(g_costs.line_publish * lines.size() + extra);
@@ -447,7 +502,7 @@ void Engine::commit_publish_global(Descriptor& d) {
     std::uint64_t extra = 0;
     if (track_owners_) {
       for (const std::uint32_t line : d.write_line_list)
-        extra += coherence_extra(line);
+        extra += coherence_extra(line, /*is_write=*/true);
     }
     if (retain_ != 0) extra += g_costs.store * d.writes.size();  // the copies
     platform::advance(g_costs.line_publish * d.write_line_list.size() + extra);
@@ -547,7 +602,8 @@ bool Engine::nontx_publish(std::uint32_t line, std::atomic<std::uint64_t>& cell,
                            const std::uint64_t* expected) {
   // The publish pulls the line exclusive whatever the serialization mode;
   // the topology extra rides on the publish-window charge.
-  const std::uint64_t extra = track_owners_ ? coherence_extra(line) : 0;
+  const std::uint64_t extra =
+      track_owners_ ? coherence_extra(line, /*is_write=*/true) : 0;
   if (cfg_.commit_mode == CommitMode::kGlobalLock) {
     commit_lock();
     try {
@@ -692,6 +748,14 @@ void Engine::history_append(std::uint32_t line,
   s.replaced_at.store(wv, std::memory_order_relaxed);
   h.count.store(n + 1, std::memory_order_relaxed);
   h.seq.store(s0 + 2, std::memory_order_release);
+  // Ring-occupancy high water (live retained entries on this line): the
+  // adaptive-K signal. CAS loop so racing real-thread appends never lose a
+  // maximum; uncontended it is one relaxed load.
+  const std::uint64_t occ = n + 1 < retain_ ? n + 1 : retain_;
+  std::uint64_t cur = ring_occ_max_.load(std::memory_order_relaxed);
+  while (occ > cur && !ring_occ_max_.compare_exchange_weak(
+                          cur, occ, std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t Engine::snapshot_begin() {
@@ -832,6 +896,8 @@ EngineStats Engine::stats() const {
   s.cross_transfers = cross_transfers_.load(std::memory_order_relaxed);
   s.node_transfers = node_transfers_.load(std::memory_order_relaxed);
   s.version_overflows = overflows_.load(std::memory_order_relaxed);
+  s.ring_occupancy_max = ring_occ_max_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -848,6 +914,8 @@ void Engine::reset_stats() {
   cross_transfers_.store(0, std::memory_order_relaxed);
   node_transfers_.store(0, std::memory_order_relaxed);
   overflows_.store(0, std::memory_order_relaxed);
+  ring_occ_max_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace sprwl::htm

@@ -452,20 +452,42 @@ class Engine {
     }
   }
 
-  /// Migrates ownership of `line` to the calling thread and returns the
-  /// virtual-cycle premium of the transfer: 0 for a local hit or first
-  /// touch, CostModel::remote_socket / remote_cross for a transfer between
-  /// cores of one socket / across sockets. Only meaningful while
-  /// track_owners_ is set; bumps the transfer counters. The model is
-  /// migratory (loads take ownership too): the common access pattern for
-  /// lock metadata is read-then-modify, and a single-owner word keeps the
-  /// tracking deterministic and O(1).
-  std::uint64_t coherence_extra(std::uint32_t line) noexcept;
+  /// Returns the virtual-cycle coherence premium of accessing `line` and
+  /// updates the per-line owner word. Only meaningful while track_owners_
+  /// is set; bumps the transfer counters.
+  ///
+  /// Under CostModel::kMigratory (the default) the word is the last
+  /// accessor's tid + 1 and `is_write` is ignored: any access from a
+  /// different core migrates the line and pays its topology tier —
+  /// including read-after-read. The common access pattern for lock metadata
+  /// is read-then-modify, and a single-owner word keeps the tracking
+  /// deterministic and O(1).
+  ///
+  /// Under CostModel::kHomeDirectory the word packs {touched, home socket,
+  /// sharer-socket mask}: a read from a socket not yet in the mask pays one
+  /// fetch-to-shared (remote_cross, remote_node across nodes) and joins it,
+  /// subsequent reads from that socket are free; a write pays one
+  /// invalidation per *other* sharing socket and collapses the mask to the
+  /// writer. First touch sets the home socket and is free either way.
+  std::uint64_t coherence_extra(std::uint32_t line, bool is_write) noexcept;
+
+  /// Home-directory leg of coherence_extra (see above). `slot` is the
+  /// line's owner word, `tid` the accessor's dense id.
+  std::uint64_t home_directory_extra(std::atomic<std::uint32_t>& slot, int tid,
+                                     bool is_write) noexcept;
+
+  // Home-directory owner-word layout: bit 31 marks a touched line, bits
+  // 24..30 hold the home socket, bits 0..23 the sharer-socket mask (sockets
+  // past kSharerBits alias their bit modulo kSharerBits — conservative:
+  // aliased sockets appear shared and over-charge, never under-charge).
+  static constexpr std::uint32_t kHomeTouchedBit = 1u << 31;
+  static constexpr int kSharerBits = 24;
+  static constexpr std::uint32_t kSharerMask = (1u << kSharerBits) - 1;
 
   /// coherence_extra + the virtual-time charge. Callers on paths that
   /// already know the dense line id use this right at the access.
-  void charge_coherence(std::uint32_t line) {
-    const std::uint64_t extra = coherence_extra(line);
+  void charge_coherence(std::uint32_t line, bool is_write = false) {
+    const std::uint64_t extra = coherence_extra(line, is_write);
     if (extra > 0) platform::advance(extra);
   }
 
@@ -540,6 +562,12 @@ class Engine {
   std::vector<LineHist> line_hist_;
   std::vector<VersionSlot> version_ring_;  // (1 << table_bits) * retain_
   std::atomic<std::uint64_t> overflows_{0};
+  // High-water of live retained entries across all rings since the last
+  // reset_stats() (EngineStats::ring_occupancy_max).
+  std::atomic<std::uint64_t> ring_occ_max_{0};
+  // Home-directory model only: sharer-socket invalidations charged to
+  // writers (EngineStats::invalidations).
+  std::atomic<std::uint64_t> invalidations_{0};
   std::atomic<std::uint64_t> socket_transfers_{0};
   std::atomic<std::uint64_t> cross_transfers_{0};
   std::atomic<std::uint64_t> node_transfers_{0};

@@ -149,6 +149,16 @@ struct EngineStats {
   std::uint64_t snapshot_hits = 0;
   std::uint64_t snapshot_misses = 0;
   std::uint64_t version_overflows = 0;
+  /// High-water mark of live (retained, reclaimable-window) entries across
+  /// all version rings — the signal an adaptive ring-depth policy keys off:
+  /// a ring that never fills past k can shrink to k, one pinned at
+  /// retain_versions wants to grow. Zero when MVCC is off.
+  std::uint64_t ring_occupancy_max = 0;
+  /// Home-directory ownership model only (CostModel::ownership ==
+  /// kHomeDirectory, zero otherwise): sharer-socket invalidations charged to
+  /// writers (one per sharing socket evicted) — the coherence traffic the
+  /// migratory model mis-attributes to readers.
+  std::uint64_t invalidations = 0;
 
   std::uint64_t total_aborts() const noexcept {
     return aborts_conflict + aborts_capacity + aborts_explicit + aborts_spurious;

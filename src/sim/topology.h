@@ -71,6 +71,14 @@ struct Topology {
     return (socket_of(core) / sockets_per_node) % nodes;
   }
 
+  /// Node owning socket `socket` directly — the home-directory coherence
+  /// model tracks sharers per *socket*, so pricing an invalidation needs the
+  /// socket→node map without a representative core id.
+  int node_of_socket(int socket) const noexcept {
+    if (single_node() || sockets_per_node <= 0) return 0;
+    return (socket / sockets_per_node) % nodes;
+  }
+
   bool same_node(int a, int b) const noexcept {
     return node_of(a) == node_of(b);
   }

@@ -209,6 +209,62 @@ TEST(CheckerLocks, BravoBrokenRevokeCaughtWithDeterministicRepro) {
   std::remove(rep.artifact_path.c_str());
 }
 
+// The NUMA-sharded-table acceptance bar: 2-thread bounded-exhaustive DFS
+// over the socket-sharded bravo variant — the checker threads split over
+// two simulated sockets, so the reader's fast-path publish (slot CAS +
+// shard summary bump) lands in shard 0 while the writer's revocation
+// drain walks both shards summary-first. Exhausting clean covers the
+// Dekker race the clean-shard skip leans on: a drain reading summary 0
+// concurrent with a reader between its slot CAS and its bias validation.
+TEST(CheckerLocks, AcceptanceDfsSpRWLBravoNumaTwoThreads) {
+  Workload w;
+  w.threads = 2;
+  w.writers = 1;
+  ExploreOptions opt;
+  const ExploreReport rep =
+      explore_dfs(make_runner("SpRWL-bravo-numa", w), w, opt);
+  EXPECT_TRUE(rep.exhausted) << "DFS did not exhaust the bounded tree";
+  EXPECT_GT(rep.schedules, 1u);
+  EXPECT_FALSE(rep.found_violation)
+      << to_string(rep.verdict.kind) << ": " << rep.verdict.detail;
+  ::testing::Test::RecordProperty(
+      "bravo_numa_dfs_schedules", static_cast<int>(rep.schedules));
+}
+
+// Self-validation for the sharded drain: a drain blinded to shard 0 —
+// summary and slots — never waits for the socket-0 reader's fast-path
+// registration, so the writer commits over the reader's snapshot. The
+// checker must catch it, ddmin must minimize it, and the artifact must
+// round-trip and replay deterministically, like the global-table broken
+// drain. Guards the per-shard summary skip against ever hiding a remote
+// socket's readers.
+TEST(CheckerLocks, BravoNumaBrokenDrainCaughtWithDeterministicRepro) {
+  const Workload w;
+  ExploreOptions opt;
+  opt.lock_name = "SpRWL-bravo-numa-broken";
+  opt.artifact_dir = ::testing::TempDir();
+  opt.seed = 123;
+  const RunFn run = make_runner("SpRWL-bravo-numa-broken", w);
+  const ExploreReport rep = explore_dfs(run, w, opt);
+
+  ASSERT_TRUE(rep.found_violation)
+      << "the checker missed the shard-blinded revocation drain";
+  EXPECT_EQ(rep.verdict.kind, Verdict::kTorn) << rep.verdict.detail;
+  ASSERT_FALSE(rep.repro.empty());
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+  EXPECT_EQ(replay_trace(run, rep.repro).kind, rep.verdict.kind);
+
+  ASSERT_FALSE(rep.artifact_path.empty());
+  ReproArtifact a;
+  ASSERT_TRUE(read_artifact(rep.artifact_path, &a)) << rep.artifact_path;
+  EXPECT_EQ(a.lock, "SpRWL-bravo-numa-broken");
+  EXPECT_EQ(a.choices, rep.repro);
+  const Verdict from_file =
+      replay_trace(make_runner(a.lock, a.workload), a.choices);
+  EXPECT_EQ(from_file.kind, Verdict::kTorn) << from_file.detail;
+  std::remove(rep.artifact_path.c_str());
+}
+
 // The cancellation acceptance bar: 2-thread bounded-exhaustive DFS over
 // the timed variant. Each reader alternates an immediately expiring budget
 // (the occupy-expire-release unwind runs on every schedule) with a

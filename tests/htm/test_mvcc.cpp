@@ -175,6 +175,47 @@ TEST_F(Mvcc, StatsMergeAndReset) {
   EXPECT_EQ(s.snapshot_hits, 0u);
   EXPECT_EQ(s.snapshot_misses, 0u);
   EXPECT_EQ(s.version_overflows, 0u);
+  EXPECT_EQ(s.ring_occupancy_max, 0u);
+}
+
+// The ring high-water mark (EngineStats::ring_occupancy_max): the signal
+// an adaptive ring-depth policy keys off. It tracks the max number of live
+// retained entries on any line — clamped at retain_versions, growing
+// monotonically, and zero while MVCC never appended.
+TEST_F(Mvcc, RingOccupancyHighWaterTracksAppends) {
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 0u) << "no appends yet";
+  Shared<std::uint64_t> x(0);
+  x.store(10);  // each publish appends the overwritten value to the ring
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 1u);
+  x.store(20);
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 2u);
+  x.store(30);
+  x.store(40);
+  x.store(50);
+  x.store(60);
+  // K=4: live occupancy is clamped at the ring depth no matter how many
+  // more appends wrap it.
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 4u);
+  // Monotone: a shallower line elsewhere never lowers the high water.
+  Shared<std::uint64_t> y(0);
+  y.store(1);
+  y.store(2);
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 4u);
+  engine_.reset_stats();
+  EXPECT_EQ(engine_.stats().ring_occupancy_max, 0u);
+}
+
+// A shallow workload never fills the ring: the high water reports the
+// depth actually used (the "shrink to k" signal), not the configured one.
+TEST_F(Mvcc, RingOccupancyReportsUsedDepthNotConfigured) {
+  Engine deep(mvcc_cfg(16));
+  EngineScope scope(deep);
+  Shared<std::uint64_t> x(0);
+  x.store(10);
+  x.store(20);
+  x.store(30);
+  EXPECT_EQ(deep.stats().ring_occupancy_max, 3u)
+      << "three appends use three entries of the 16-deep ring";
 }
 
 TEST_F(Mvcc, BrokenTooNewServesCurrentMemory) {
